@@ -1,0 +1,177 @@
+// Benchmarks regenerating each table and figure of the paper at reduced
+// cost (subsampled workloads, short streams). Each benchmark reports the
+// artifact's headline number as a custom metric, so `go test -bench=.`
+// doubles as a smoke regeneration of the whole evaluation; cmd/experiments
+// produces the full-size series recorded in EXPERIMENTS.md.
+package hybridmem
+
+import (
+	"testing"
+
+	"hybridmem/internal/exp"
+	"hybridmem/internal/workload"
+)
+
+// benchRunner returns a low-cost runner: one workload per MPKI class,
+// short instruction streams.
+func benchRunner() *exp.Runner {
+	r := exp.NewRunner()
+	r.InstrPerCore = 60_000
+	specs := workload.Specs()
+	r.Subset = []workload.Spec{specs[4], specs[15], specs[29]} // lbm, xz, namd
+	return r
+}
+
+func BenchmarkTab1SystemConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if t := exp.Tab1(16); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTab2Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if t := exp.Tab2(r); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig01WastedData(b *testing.B) {
+	var waste map[int]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, waste = exp.Fig1(r)
+	}
+	b.ReportMetric(waste[4096]*100, "%wasted@4KB")
+}
+
+func BenchmarkFig02MotivationSweep(b *testing.B) {
+	var vals map[string][3]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig2(r)
+	}
+	b.ReportMetric(vals["IDEAL-256"][2], "geomean-ideal256")
+}
+
+func BenchmarkFig11DesignSpace(b *testing.B) {
+	var vals map[string]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig11(r)
+	}
+	b.ReportMetric(vals["64MB-2KB-256B"], "geomean-bestpoint")
+}
+
+func benchFig12(b *testing.B, ratio int) {
+	var vals map[string][]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig12(r, ratio)
+	}
+	b.ReportMetric(vals["HYBRID2"][3], "geomean-hybrid2")
+}
+
+func BenchmarkFig12aSpeedup1GB(b *testing.B) { benchFig12(b, 1) }
+func BenchmarkFig12bSpeedup2GB(b *testing.B) { benchFig12(b, 2) }
+func BenchmarkFig12cSpeedup4GB(b *testing.B) { benchFig12(b, 4) }
+
+func BenchmarkFig13PerBenchmark(b *testing.B) {
+	var vals map[string]map[string]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig13(r)
+	}
+	b.ReportMetric(vals["lbm"]["HYBRID2"], "lbm-hybrid2-speedup")
+}
+
+func BenchmarkFig14Breakdown(b *testing.B) {
+	var vals map[string]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig14(r)
+	}
+	b.ReportMetric(vals["HYBRID2"], "geomean-hybrid2")
+}
+
+func BenchmarkFig15NMServed(b *testing.B) {
+	var vals map[string][]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig15(r)
+	}
+	b.ReportMetric(vals["HYBRID2"][3]*100, "%servedNM-hybrid2")
+}
+
+func BenchmarkFig16FMTraffic(b *testing.B) {
+	var vals map[string][]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig16(r)
+	}
+	b.ReportMetric(vals["HYBRID2"][3], "fm-traffic-hybrid2")
+}
+
+func BenchmarkFig17NMTraffic(b *testing.B) {
+	var vals map[string][]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig17(r)
+	}
+	b.ReportMetric(vals["HYBRID2"][3], "nm-traffic-hybrid2")
+}
+
+func BenchmarkFig18Energy(b *testing.B) {
+	var vals map[string][]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Fig18(r)
+	}
+	b.ReportMetric(vals["HYBRID2"][3], "energy-hybrid2")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// instructions per wall-clock second on the full Hybrid2 stack.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	spec, _ := workload.ByName("lbm")
+	r := exp.NewRunner()
+	r.InstrPerCore = 125_000
+	for i := 0; i < b.N; i++ {
+		r.Seed = uint64(i + 1) // defeat memoization
+		res := r.Result(spec, "HYBRID2", 1)
+		b.SetBytes(int64(res.Instructions))
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice sensitivity table.
+func BenchmarkAblations(b *testing.B) {
+	var vals map[string]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.Ablations(r)
+	}
+	b.ReportMetric(vals["HYBRID2"], "geomean-reference")
+}
+
+// BenchmarkExtrasRelatedWork regenerates the CAMEO/ALLOY/FOOTPRINT table.
+func BenchmarkExtrasRelatedWork(b *testing.B) {
+	var vals map[string][3]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.ExtrasTable(r)
+	}
+	b.ReportMetric(vals["FOOTPRINT"][2], "geomean-footprint")
+}
+
+// BenchmarkSeedSensitivity regenerates the multi-seed confidence table.
+func BenchmarkSeedSensitivity(b *testing.B) {
+	var vals map[string][3]float64
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, vals = exp.SeedSensitivity(r, []uint64{1, 2})
+	}
+	b.ReportMetric(vals["HYBRID2"][1], "mean-hybrid2")
+}

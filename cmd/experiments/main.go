@@ -1,0 +1,143 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1-2, Tables 1-2, Figures 11-18) as text series.
+//
+// Usage:
+//
+//	experiments                  # everything (minutes of CPU time)
+//	experiments -run fig12,fig13 # selected artifacts
+//	experiments -quick           # subsampled workloads, shorter streams
+//
+// Results are printed to stdout; EXPERIMENTS.md records a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybridmem/internal/exp"
+)
+
+func main() {
+	runSel := flag.String("run", "all",
+		"comma-separated subset of: tab1,tab2,fig1,fig2,fig11,fig12,fig13,fig14,fig15,fig16,fig17,fig18,ablation,seeds,extras,paths,prefetch,detail")
+	quick := flag.Bool("quick", false, "subsample workloads and shorten streams")
+	scale := flag.Int("scale", 16, "capacity scale divisor")
+	instr := flag.Uint64("instr", 1_000_000, "instructions per core")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	flag.Parse()
+
+	var r *exp.Runner
+	if *quick {
+		r = exp.NewQuickRunner()
+	} else {
+		r = exp.NewRunner()
+		r.InstrPerCore = *instr
+	}
+	r.Scale = *scale
+	r.Seed = *seed
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*runSel, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+	ran := 0
+
+	start := time.Now()
+	show := func(t exp.Table) {
+		fmt.Println(t.String())
+		ran++
+		if *csvDir != "" {
+			path := *csvDir + "/" + t.Slug() + ".csv"
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if sel("tab1") {
+		show(exp.Tab1(r.Scale))
+	}
+	if sel("tab2") {
+		show(exp.Tab2(r))
+	}
+	if sel("fig1") {
+		t, _ := exp.Fig1(r)
+		show(t)
+	}
+	if sel("fig2") {
+		t, _ := exp.Fig2(r)
+		show(t)
+	}
+	if sel("fig11") {
+		t, _ := exp.Fig11(r)
+		show(t)
+	}
+	if sel("fig12") {
+		for _, ratio := range []int{1, 2, 4} {
+			t, _ := exp.Fig12(r, ratio)
+			show(t)
+		}
+	}
+	if sel("fig13") {
+		t, _ := exp.Fig13(r)
+		show(t)
+	}
+	if sel("fig14") {
+		t, _ := exp.Fig14(r)
+		show(t)
+	}
+	if sel("fig15") {
+		t, _ := exp.Fig15(r)
+		show(t)
+	}
+	if sel("fig16") {
+		t, _ := exp.Fig16(r)
+		show(t)
+	}
+	if sel("fig17") {
+		t, _ := exp.Fig17(r)
+		show(t)
+	}
+	if sel("fig18") {
+		t, _ := exp.Fig18(r)
+		show(t)
+	}
+	if sel("ablation") {
+		t, _ := exp.Ablations(r)
+		show(t)
+	}
+	if sel("seeds") {
+		t, _ := exp.SeedSensitivity(r, []uint64{1, 2, 3})
+		show(t)
+	}
+	if sel("extras") {
+		t, _ := exp.ExtrasTable(r)
+		show(t)
+	}
+	if sel("paths") {
+		t, _ := exp.PathBreakdown(r)
+		show(t)
+	}
+	if sel("prefetch") {
+		t, _ := exp.PrefetchStudy(r)
+		show(t)
+	}
+	if want["detail"] { // per-benchmark Figs 15-18 companion (not in "all")
+		for _, t := range exp.Detail(r) {
+			show(t)
+		}
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run %q\n", *runSel)
+		os.Exit(2)
+	}
+	fmt.Printf("-- %d artifact(s) in %v --\n", ran, time.Since(start).Round(time.Millisecond))
+}

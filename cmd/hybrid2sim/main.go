@@ -1,0 +1,90 @@
+// Command hybrid2sim runs one workload on one memory-system design and
+// prints the measurements: the single-run entry point to the simulator.
+//
+// Usage:
+//
+//	hybrid2sim -design HYBRID2 -workload lbm
+//	hybrid2sim -design TAGLESS -workload omnetpp -ratio 4 -instr 2000000
+//	hybrid2sim -design HYBRID2 -trace mcf.trace -mlp 2
+//	hybrid2sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridmem"
+	"hybridmem/internal/exp"
+)
+
+func main() {
+	design := flag.String("design", "HYBRID2", "memory-system design (see -list)")
+	wl := flag.String("workload", "lbm", "workload name from Table 2 (see -list)")
+	ratio := flag.Int("ratio", 1, "NM size in sixteenths of FM (1, 2 or 4 in the paper)")
+	scale := flag.Int("scale", 16, "capacity scale divisor (1 = paper-size system)")
+	instr := flag.Uint64("instr", 1_000_000, "instructions per core")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceFile := flag.String("trace", "", "replay a captured trace file instead of a synthetic workload")
+	mlp := flag.Int("mlp", 4, "per-core memory-level parallelism for trace replay")
+	list := flag.Bool("list", false, "list designs and workloads, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Designs:", hybridmem.Designs())
+		fmt.Println("  (also: IDEAL-<line>, DFC-<line>, H2-CacheOnly, H2-MigrAll,")
+		fmt.Println("   H2-MigrNone, H2-NoRemap, H2DSE-<cacheMB>-<sectorKB>-<lineB>)")
+		fmt.Println("Workloads:", hybridmem.Workloads())
+		return
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r := &exp.Runner{Scale: *scale, InstrPerCore: *instr, Seed: *seed}
+		res, err := r.RunTrace(*traceFile, f, *design, *ratio, *mlp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace           %s\n", res.Workload)
+		fmt.Printf("design          %s\n", res.Design)
+		fmt.Printf("cycles          %d\n", res.Cycles)
+		fmt.Printf("IPC             %.3f\n", res.IPC)
+		fmt.Printf("LLC MPKI        %.2f\n", res.MPKI)
+		fmt.Printf("served from NM  %.1f%%\n", res.ServedNMFrac()*100)
+		fmt.Printf("NM traffic      %.1f MB\n", float64(res.Mem.NMTraffic())/(1<<20))
+		fmt.Printf("FM traffic      %.1f MB\n", float64(res.Mem.FMTraffic())/(1<<20))
+		return
+	}
+
+	cfg := hybridmem.Config{Scale: *scale, NMRatio16: *ratio, InstrPerCore: *instr, Seed: *seed}
+	res, err := hybridmem.Run(*design, *wl, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
+		os.Exit(1)
+	}
+	speedup, err := hybridmem.Speedup(*design, *wl, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("design          %s\n", res.Design)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("instructions    %d\n", res.Instructions)
+	fmt.Printf("IPC             %.3f\n", res.IPC)
+	fmt.Printf("LLC MPKI        %.2f\n", res.MPKI)
+	fmt.Printf("speedup         %.3f (vs no-NM baseline)\n", speedup)
+	fmt.Printf("served from NM  %.1f%%\n", res.ServedNMFrac*100)
+	fmt.Printf("NM traffic      %.1f MB (%.1f MB metadata)\n",
+		float64(res.NMTrafficBytes)/(1<<20), float64(res.MetaNMBytes)/(1<<20))
+	fmt.Printf("FM traffic      %.1f MB\n", float64(res.FMTrafficBytes)/(1<<20))
+	fmt.Printf("migrations      %d\n", res.Migrations)
+	fmt.Printf("dynamic energy  %.2f mJ\n", res.EnergyNanoJ/1e6)
+}

@@ -1,0 +1,43 @@
+// Design sweep: a miniature of the paper's Figure 11 exploration. Sweeps
+// Hybrid2's DRAM-cache size, sector size and cache-line size on two
+// contrasting workloads, showing why the paper settles on 64 MB / 2 KB
+// sectors / 256 B lines: small lines miss the prefetch benefit of spatial
+// locality, large lines over-fetch on irregular workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmem"
+)
+
+func main() {
+	cfg := hybridmem.DefaultConfig()
+	cfg.InstrPerCore = 400_000
+
+	workloads := []string{"lbm", "omnetpp"} // streaming vs pointer-chasing
+	fmt.Printf("%-18s", "config")
+	for _, wl := range workloads {
+		fmt.Printf("  %10s", wl)
+	}
+	fmt.Println()
+
+	for _, cacheMB := range []int{64, 128} {
+		for _, sectorKB := range []int{2, 4} {
+			for _, line := range []int{64, 256, 512} {
+				design := fmt.Sprintf("H2DSE-%d-%d-%d", cacheMB, sectorKB, line)
+				fmt.Printf("%2dMB-%dKB-%-4dB    ", cacheMB, sectorKB, line)
+				for _, wl := range workloads {
+					sp, err := hybridmem.Speedup(design, wl, cfg)
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Printf("  %9.2fx", sp)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Println("\nThe paper's chosen point is 64MB-2KB-256B (Fig. 11).")
+}

@@ -1,0 +1,34 @@
+// Quickstart: simulate one workload on Hybrid2 and on the no-NM baseline,
+// and print the paper's headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmem"
+)
+
+func main() {
+	cfg := hybridmem.DefaultConfig()
+	cfg.InstrPerCore = 500_000
+
+	base, err := hybridmem.Run("Baseline", "lbm", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2, err := hybridmem.Run("HYBRID2", "lbm", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Hybrid2 on lbm (high-MPKI streaming fluid dynamics):")
+	fmt.Printf("  baseline: %8d cycles at IPC %.2f (all requests to DDR4)\n",
+		base.Cycles, base.IPC)
+	fmt.Printf("  hybrid2:  %8d cycles at IPC %.2f\n", h2.Cycles, h2.IPC)
+	fmt.Printf("  speedup:  %.2fx\n", float64(base.Cycles)/float64(h2.Cycles))
+	fmt.Printf("  served from near memory: %.0f%%\n", h2.ServedNMFrac*100)
+	fmt.Printf("  sectors migrated into NM: %d\n", h2.Migrations)
+	fmt.Printf("  FM traffic: %.1f MB (baseline %.1f MB)\n",
+		float64(h2.FMTrafficBytes)/(1<<20), float64(base.FMTrafficBytes)/(1<<20))
+}

@@ -1,0 +1,70 @@
+// Trace replay: drive the simulator with an explicit memory trace instead
+// of the built-in synthetic workloads — the workflow for users with
+// Pin/DynamoRIO captures of their own applications. This example builds a
+// small trace in memory (a pointer-chasing loop over a 4 MB ring buffer,
+// one hot index array) and compares how the designs serve it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hybridmem"
+)
+
+// buildTrace writes a synthetic pointer-chase + hot-array trace in the
+// text format of internal/trace: "core gap addr-hex R|W".
+func buildTrace() string {
+	var b strings.Builder
+	rng := uint64(12345)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	const region = 16 << 20  // 16 MB per core
+	const window = 256 << 10 // 256 KB hot chase window, drifting slowly
+	for core := 0; core < 8; core++ {
+		pos := uint64(0)
+		base := uint64(0)
+		for i := 0; i < 20000; i++ {
+			if i%5000 == 4999 {
+				base = (base + 3<<20) % (region - window) // working-set drift
+			}
+			// Short-stride chase within the hot window: real reuse.
+			pos = (pos + 64 + next(8)*64) % window
+			fmt.Fprintf(&b, "%d 40 %x R\n", core, uint64(core)*region+base+pos)
+			// Occasional cold lookup sprayed over the whole region.
+			if i%32 == 0 {
+				fmt.Fprintf(&b, "%d 10 %x W\n", core, uint64(core)*region+next(region/64)*64)
+			}
+		}
+	}
+	return b.String()
+}
+
+func main() {
+	traceText := buildTrace()
+	cfg := hybridmem.DefaultConfig()
+
+	fmt.Println("Replaying a captured-style trace (pointer chase + hot index):")
+	var baseCycles uint64
+	for _, d := range []string{"Baseline", "TAGLESS", "HYBRID2"} {
+		res, err := hybridmem.RunTrace(d, "chase", strings.NewReader(traceText), 2, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d == "Baseline" {
+			baseCycles = res.Cycles
+		}
+		fmt.Printf("  %-8s cycles %9d  speedup %.2f  served-NM %3.0f%%  FM %.1f MB\n",
+			d, res.Cycles, float64(baseCycles)/float64(res.Cycles),
+			res.ServedNMFrac*100, float64(res.FMTrafficBytes)/(1<<20))
+	}
+	fmt.Println("\nThe drifting chase window rewards Hybrid2's staging cache, while")
+	fmt.Println("the sprayed writes make page-granularity caching over-fetch. Use")
+	fmt.Println("cmd/tracegen to export the built-in workloads in this format, or")
+	fmt.Println("feed your own Pin/DynamoRIO captures.")
+}

@@ -1,0 +1,244 @@
+// Package hybridmem is a trace-driven simulator of hybrid DRAM memory
+// systems, reproducing "Hybrid2: Combining Caching and Migration in Hybrid
+// Memory Systems" (Vasilakis et al., HPCA 2020).
+//
+// The package simulates an 8-core processor with a shared LLC in front of
+// a two-level memory: a high-bandwidth 3D-stacked near memory (HBM2) and
+// a high-capacity far memory (DDR4). Seven memory organizations can be
+// plugged under the LLC:
+//
+//   - Baseline: far memory only (the paper's normalization point)
+//   - MPOD, CHA, LGM: flat-address-space migration schemes
+//     (MemPod, Chameleon, LLC-Guided Migration)
+//   - TAGLESS, DFC, IDEAL-<line>: DRAM caches
+//   - HYBRID2: the paper's contribution, plus its Fig. 14 ablations
+//     (H2-CacheOnly, H2-MigrAll, H2-MigrNone, H2-NoRemap) and Fig. 11
+//     design points (H2DSE-<cacheMB>-<sectorKB>-<lineB>)
+//
+// Thirty synthetic workloads mirror the paper's Table 2 (21 SPEC2017 +
+// 9 NAS benchmarks). All runs are deterministic for a given seed.
+//
+// Quickstart:
+//
+//	res, err := hybridmem.Run("HYBRID2", "lbm", hybridmem.DefaultConfig())
+//	base, _ := hybridmem.Run("Baseline", "lbm", hybridmem.DefaultConfig())
+//	fmt.Printf("speedup: %.2f\n", float64(base.Cycles)/float64(res.Cycles))
+package hybridmem
+
+import (
+	"fmt"
+	"io"
+
+	"hybridmem/internal/config"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/workload"
+)
+
+// Config selects the simulated system size and run length.
+type Config struct {
+	// Scale divides the paper's capacities (LLC, NM, FM, DRAM cache,
+	// workload footprints); granularities stay at paper values. 16 by
+	// default (64 MB-scale NM against 1 GB-scale FM).
+	Scale int
+	// NMRatio16 sets near memory to NMRatio16/16 of far memory: 1, 2 or
+	// 4 in the paper (1, 2 and 4 GB of NM against 16 GB of FM).
+	NMRatio16 int
+	// InstrPerCore is the per-core instruction budget.
+	InstrPerCore uint64
+	// Seed makes runs reproducible; same seed, same result.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		Scale:        config.DefaultScale,
+		NMRatio16:    1,
+		InstrPerCore: 1_000_000,
+		Seed:         1,
+	}
+}
+
+// Result reports the measurements of one run.
+type Result struct {
+	Workload string
+	Design   string
+
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+	MPKI         float64 // LLC misses per kilo-instruction
+
+	// Memory-system behaviour.
+	Requests       uint64
+	ServedNMFrac   float64 // fraction of requests served by near memory
+	NMTrafficBytes uint64
+	FMTrafficBytes uint64
+	MetaNMBytes    uint64 // NM traffic due to remap/tag metadata
+	Migrations     uint64
+	EnergyNanoJ    float64 // dynamic memory energy
+}
+
+// Workloads returns the names of the 30 Table 2 workloads in paper order.
+func Workloads() []string {
+	specs := workload.Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Designs returns the names of the six main designs of the evaluation
+// plus the baseline. Additional parameterized names are accepted by Run;
+// see the package documentation.
+func Designs() []string {
+	return append([]string{"Baseline"}, exp.MainDesigns...)
+}
+
+// Run simulates one workload on one memory-system design and returns its
+// measurements. Design names are listed in the package documentation;
+// workload names come from Workloads.
+func Run(design, workloadName string, cfg Config) (Result, error) {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		return Result{}, fmt.Errorf("hybridmem: unknown workload %q", workloadName)
+	}
+	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
+		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	}
+	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
+	res, err := runChecked(r, spec, design, cfg.NMRatio16)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Speedup runs design and the baseline on one workload and returns the
+// cycle ratio (the paper's headline metric).
+func Speedup(design, workloadName string, cfg Config) (float64, error) {
+	base, err := Run("Baseline", workloadName, cfg)
+	if err != nil {
+		return 0, err
+	}
+	res, err := Run(design, workloadName, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if res.Cycles == 0 {
+		return 0, fmt.Errorf("hybridmem: zero-cycle run")
+	}
+	return float64(base.Cycles) / float64(res.Cycles), nil
+}
+
+// Workload describes a custom synthetic workload for RunCustom, for
+// scenarios beyond the 30 built-in Table 2 benchmarks.
+type Workload struct {
+	Name          string
+	MultiThreaded bool    // 8 threads share one region (vs 8 rate copies)
+	FootprintGB   float64 // total memory footprint at paper scale
+	APKI          float64 // LLC accesses per kilo-instruction
+	HotFrac       float64 // fraction of the footprint forming the hot set
+	HotProb       float64 // probability an access run targets the hot set
+	SeqRun        float64 // mean sequential run length in 64 B lines
+	WriteFrac     float64 // store fraction
+	Phases        int     // working-set phases over the run (1 = stable)
+}
+
+// RunCustom simulates a user-defined workload on one design.
+func RunCustom(design string, w Workload, cfg Config) (Result, error) {
+	if w.FootprintGB <= 0 || w.APKI <= 0 {
+		return Result{}, fmt.Errorf("hybridmem: workload needs positive FootprintGB and APKI")
+	}
+	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
+		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	}
+	kind := workload.MP
+	if w.MultiThreaded {
+		kind = workload.MT
+	}
+	spec := workload.Spec{
+		Name:             w.Name,
+		Kind:             kind,
+		PaperFootprintGB: w.FootprintGB,
+		APKI:             w.APKI,
+		HotFrac:          w.HotFrac,
+		HotProb:          w.HotProb,
+		SeqRun:           w.SeqRun,
+		WriteFrac:        w.WriteFrac,
+		Phases:           w.Phases,
+	}
+	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
+	return runChecked(r, spec, design, cfg.NMRatio16)
+}
+
+// RunTrace replays a captured memory trace on a design. The text format
+// (one record per line: core, instruction gap, hex address, R/W) is
+// documented in internal/trace; cmd/tracegen produces compatible files
+// from the built-in workloads. mlp bounds each core's overlapped misses
+// (traces carry no dependence information).
+func RunTrace(design, name string, trace io.Reader, mlp int, cfg Config) (Result, error) {
+	if cfg.Scale < 1 || cfg.NMRatio16 < 1 {
+		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	}
+	if mlp < 1 {
+		mlp = 1
+	}
+	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
+	var out Result
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("hybridmem: %v", p)
+			}
+		}()
+		sr, err := r.RunTrace(name, trace, design, cfg.NMRatio16, mlp)
+		if err != nil {
+			return err
+		}
+		out = Result{
+			Workload:       sr.Workload,
+			Design:         sr.Design,
+			Cycles:         uint64(sr.Cycles),
+			Instructions:   sr.Instructions,
+			IPC:            sr.IPC,
+			MPKI:           sr.MPKI,
+			Requests:       sr.Mem.Requests,
+			ServedNMFrac:   sr.ServedNMFrac(),
+			NMTrafficBytes: sr.Mem.NMTraffic(),
+			FMTrafficBytes: sr.Mem.FMTraffic(),
+			MetaNMBytes:    sr.Mem.MetaNMBytes,
+			Migrations:     sr.Mem.Migrations,
+			EnergyNanoJ:    sr.DynamicEnergyNJ(),
+		}
+		return nil
+	}()
+	return out, err
+}
+
+// runChecked converts a Runner run, translating design-name panics from
+// the internal builder into errors.
+func runChecked(r *exp.Runner, spec workload.Spec, design string, ratio16 int) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("hybridmem: %v", p)
+		}
+	}()
+	sr := r.Result(spec, design, ratio16)
+	return Result{
+		Workload:       sr.Workload,
+		Design:         sr.Design,
+		Cycles:         uint64(sr.Cycles),
+		Instructions:   sr.Instructions,
+		IPC:            sr.IPC,
+		MPKI:           sr.MPKI,
+		Requests:       sr.Mem.Requests,
+		ServedNMFrac:   sr.ServedNMFrac(),
+		NMTrafficBytes: sr.Mem.NMTraffic(),
+		FMTrafficBytes: sr.Mem.FMTraffic(),
+		MetaNMBytes:    sr.Mem.MetaNMBytes,
+		Migrations:     sr.Mem.Migrations,
+		EnergyNanoJ:    sr.DynamicEnergyNJ(),
+	}, nil
+}

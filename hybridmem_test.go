@@ -1,0 +1,165 @@
+package hybridmem
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 100_000
+	return cfg
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 30 {
+		t.Fatalf("got %d workloads, want 30", len(ws))
+	}
+	if ws[0] != "cg.D" || ws[29] != "namd" {
+		t.Fatalf("unexpected ordering: first=%s last=%s", ws[0], ws[29])
+	}
+}
+
+func TestDesignsList(t *testing.T) {
+	ds := Designs()
+	if len(ds) != 7 || ds[0] != "Baseline" || ds[6] != "HYBRID2" {
+		t.Fatalf("designs = %v", ds)
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run("HYBRID2", "lbm", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Requests == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.ServedNMFrac <= 0 || res.ServedNMFrac > 1 {
+		t.Fatalf("served fraction %f out of range", res.ServedNMFrac)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run("HYBRID2", "gcc", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("HYBRID2", "gcc", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run("HYBRID2", "nosuch", quickCfg()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Run("NOSUCHDESIGN", "lbm", quickCfg()); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	bad := quickCfg()
+	bad.Scale = 0
+	if _, err := Run("HYBRID2", "lbm", bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSpeedupAboveBaselineForHighMPKI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 300_000
+	s, err := Speedup("HYBRID2", "lbm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 1.0 {
+		t.Fatalf("HYBRID2 speedup on lbm = %.2f, expected > 1", s)
+	}
+}
+
+func TestParameterizedDesignNames(t *testing.T) {
+	for _, d := range []string{"IDEAL-256", "DFC-512", "H2-CacheOnly", "H2DSE-64-2-256"} {
+		if _, err := Run(d, "xz", quickCfg()); err != nil {
+			t.Fatalf("design %s rejected: %v", d, err)
+		}
+	}
+}
+
+func TestBaselineServesNothingFromNM(t *testing.T) {
+	res, err := Run("Baseline", "mcf", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedNMFrac != 0 || res.NMTrafficBytes != 0 {
+		t.Fatalf("baseline touched NM: %+v", res)
+	}
+}
+
+func TestRunTracePublicAPI(t *testing.T) {
+	trace := strings.NewReader("0 10 1000 R\n0 5 1040 W\n1 20 2000 R\n")
+	res, err := RunTrace("HYBRID2", "unit", trace, 2, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Cycles == 0 {
+		t.Fatalf("empty trace result: %+v", res)
+	}
+	if res.Workload != "unit" || res.Design != "HYBRID2" {
+		t.Fatalf("labels wrong: %+v", res)
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	if _, err := RunTrace("HYBRID2", "x", strings.NewReader("bogus line"), 2, quickCfg()); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+	if _, err := RunTrace("NOSUCH", "x", strings.NewReader("0 1 40 R\n"), 2, quickCfg()); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestRunCustomWorkload(t *testing.T) {
+	wl := Workload{
+		Name: "custom", MultiThreaded: true, FootprintGB: 1.5,
+		APKI: 20, HotFrac: 0.1, HotProb: 0.7, SeqRun: 8, WriteFrac: 0.3, Phases: 2,
+	}
+	res, err := RunCustom("HYBRID2", wl, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "custom" || res.Cycles == 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestRunCustomValidation(t *testing.T) {
+	bad := Workload{Name: "x", APKI: 0, FootprintGB: 1}
+	if _, err := RunCustom("HYBRID2", bad, quickCfg()); err == nil {
+		t.Fatal("zero-APKI workload accepted")
+	}
+	bad = Workload{Name: "x", APKI: 10, FootprintGB: 0}
+	if _, err := RunCustom("HYBRID2", bad, quickCfg()); err == nil {
+		t.Fatal("zero-footprint workload accepted")
+	}
+}
+
+func TestNMRatioImprovesHybrid2(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 250_000
+	s1, err := Speedup("HYBRID2", "sp.D", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NMRatio16 = 4
+	s4, err := Speedup("HYBRID2", "sp.D", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 <= s1 {
+		t.Fatalf("4x NM (%.2f) not better than 1x (%.2f) on a big-footprint workload", s4, s1)
+	}
+}

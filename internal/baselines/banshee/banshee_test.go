@@ -1,0 +1,122 @@
+package banshee
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+func newSmall() *Banshee {
+	return New(Default(1<<20), memsys.New(memsys.HBM2Config()), memsys.New(memsys.DDR4Config()))
+}
+
+func TestMissesServedFromFMWithoutFill(t *testing.T) {
+	b := newSmall()
+	b.Access(0, 0x1000, false)
+	s := b.Stats()
+	if s.ServedFM != 1 {
+		t.Fatal("miss not served from FM")
+	}
+	// One cold sampled miss must not immediately fill a whole page.
+	if s.FMReadBytes > 64+uint64(b.cfg.PageBytes) {
+		t.Fatalf("cold miss moved %d bytes", s.FMReadBytes)
+	}
+}
+
+func TestFrequencyGatedFill(t *testing.T) {
+	b := newSmall()
+	addr := memtypes.Addr(0x4000)
+	var now memtypes.Tick
+	// Hammer one page: sampled counters eventually cross the threshold
+	// and the page is cached; later accesses hit in NM.
+	for i := 0; i < 64; i++ {
+		now += 200
+		b.Access(now, addr, false)
+	}
+	s := b.Stats()
+	if s.Migrations == 0 {
+		t.Fatal("hot page never cached")
+	}
+	if s.ServedNM == 0 {
+		t.Fatal("cached page never served from NM")
+	}
+}
+
+func TestOnePassStreamNotCached(t *testing.T) {
+	b := newSmall()
+	var now memtypes.Tick
+	for a := memtypes.Addr(0); a < 4<<20; a += 64 {
+		now += 20
+		b.Access(now, a, false)
+	}
+	// Each page is touched 64 times in a row, but candidate counters are
+	// sampled 1-in-4 so frequency builds; streaming pages do get cached
+	// under pure frequency policies — the bandwidth saving comes from the
+	// threshold against the victim. Verify fills are bounded well below
+	// one per page touched.
+	pages := uint64(4 << 20 / b.cfg.PageBytes)
+	if b.Stats().Migrations > pages/2 {
+		t.Fatalf("cached %d of %d streamed pages", b.Stats().Migrations, pages)
+	}
+}
+
+func TestVictimProtectedByFrequency(t *testing.T) {
+	b := newSmall()
+	var now memtypes.Tick
+	// Make every way of set 0 hot and resident.
+	stride := memtypes.Addr(b.sets * b.cfg.PageBytes)
+	for w := 0; w < b.cfg.Assoc; w++ {
+		for i := 0; i < 128; i++ {
+			now += 100
+			b.Access(now, memtypes.Addr(w)*stride, false)
+		}
+	}
+	// A lukewarm competitor must not displace any hot resident with only
+	// a couple of sampled touches.
+	comp := memtypes.Addr(b.cfg.Assoc) * stride
+	for i := 0; i < 8; i++ {
+		now += 100
+		b.Access(now, comp, false)
+	}
+	for i := range b.entries {
+		if b.entries[i].tag == uint64(comp/memtypes.Addr(b.cfg.PageBytes))+1 {
+			t.Fatal("lukewarm page displaced a hot resident")
+		}
+	}
+}
+
+func TestDirtyPageWritebacks(t *testing.T) {
+	b := newSmall()
+	var now memtypes.Tick
+	// Cache a page with writes, then displace it with hotter pages.
+	for i := 0; i < 64; i++ {
+		now += 100
+		b.Access(now, 0, true)
+	}
+	stride := memtypes.Addr(b.sets * b.cfg.PageBytes)
+	for w := 1; w <= b.cfg.Assoc+2; w++ {
+		for i := 0; i < 300; i++ {
+			now += 100
+			b.Access(now, memtypes.Addr(w)*stride, false)
+		}
+	}
+	if b.Stats().FMWriteBytes == 0 {
+		t.Fatal("dirty page eviction produced no write-back")
+	}
+}
+
+func TestServedSumsToRequests(t *testing.T) {
+	b := newSmall()
+	rng := rand.New(rand.NewSource(3))
+	var now memtypes.Tick
+	for i := 0; i < 30000; i++ {
+		now += 60
+		b.Access(now, memtypes.Addr(rng.Intn(1<<24))&^63, rng.Intn(4) == 0)
+	}
+	s := b.Stats()
+	if s.ServedNM+s.ServedFM != s.Requests {
+		t.Fatalf("served %d+%d != requests %d", s.ServedNM, s.ServedFM, s.Requests)
+	}
+}

@@ -1,0 +1,448 @@
+// Package chameleon implements the Chameleon reconfigurable hybrid memory
+// (Kotra et al., MICRO'18) as evaluated in the Hybrid2 paper: a PoM-style
+// congruence-group organization with competing counters deciding swaps
+// within each group (K = 14 for the evaluated memory configuration), plus
+// a cache-mode slice of NM equal to the capacity Hybrid2 spends on its
+// DRAM cache (§5: "we allow the same NM capacity our design uses as a
+// DRAM cache to be used in Chameleon's cache mode").
+//
+// Simplifications, documented per DESIGN.md: the cache-mode slice is a
+// direct-mapped 256 B-line cache serving FM-resident sectors; stale cache
+// lines of a just-migrated sector age out naturally (the simulator models
+// timing and traffic, not data contents). The OS/ISA cooperation of
+// Chameleon (ISA-Alloc/ISA-Free) is outside the scope of the paper's
+// comparison and is not modelled, as in the paper.
+package chameleon
+
+import (
+	"hybridmem/internal/config"
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+// Config parameterizes Chameleon.
+type Config struct {
+	SectorBytes       int
+	NMBytes, FMBytes  uint64
+	CacheBytes        uint64 // cache-mode slice (Hybrid2's DRAM-cache size)
+	CacheLineBytes    int
+	Threshold         int // competing-counter swap threshold (paper: K=14)
+	RemapCacheEntries int
+	Seed              uint64
+}
+
+// Default returns the paper's Chameleon configuration.
+func Default(nmBytes, fmBytes, cacheBytes uint64, remapEntries int, seed uint64) Config {
+	return Config{
+		SectorBytes: config.SectorBytes,
+		NMBytes:     nmBytes,
+		FMBytes:     fmBytes,
+		CacheBytes:  cacheBytes,
+		// Chameleon manages NM at PoM's 2 KB segment granularity, so its
+		// cache-mode slice fills whole segments.
+		CacheLineBytes:    config.SectorBytes,
+		Threshold:         14,
+		RemapCacheEntries: remapEntries,
+		Seed:              seed,
+	}
+}
+
+// installThreshold is the reuse count a segment needs before the cache
+// slice installs it (full-segment fill).
+const installThreshold = 2
+
+// segCache is the cache-mode slice: a fully associative sector cache over
+// the reserved NM region. Full associativity comes for free from the
+// design's remap indirection; slots are recycled FIFO. Segments are only
+// installed after showing reuse (installThreshold touches), so one-pass
+// streams never earn a fill.
+type segCache struct {
+	slots   []uint64 // slot -> installed segment+1 (0 free)
+	dirty   []bool
+	where   map[uint64]int   // segment -> slot
+	touches map[uint64]uint8 // reuse filter (bounded, cleared when full)
+	fifo    int
+}
+
+func newSegCache(slots int) *segCache {
+	return &segCache{
+		slots:   make([]uint64, slots),
+		dirty:   make([]bool, slots),
+		where:   make(map[uint64]int, slots),
+		touches: make(map[uint64]uint8, 4096),
+	}
+}
+
+// Chameleon implements memtypes.MemorySystem.
+type Chameleon struct {
+	cfg   Config
+	nm    *memsys.Device
+	fm    *memsys.Device
+	stats memtypes.MemStats
+
+	groups   uint32  // one NM slot per group
+	k        uint32  // FM members per group
+	pinned   uint32  // logical sectors permanently in FM (remainder)
+	slots    []uint8 // member slot per (group, member): 0 = NM, else FM slot g*k+(v-1)
+	occupant []uint8 // member index currently in NM
+	cand     []uint8
+	ctr      []int16
+	lastSeg  uint32 // globally last-accessed sector (episode counting)
+	// swapCredit paces swaps by demand: each FM demand access earns one
+	// credit; a 2 KB swap costs 64 (it moves 64 accesses worth of FM
+	// bytes each way). This keeps swap traffic bounded by demand traffic.
+	swapCredit int
+
+	rc        *remapCache
+	cache     *segCache
+	cacheBase memtypes.Addr
+
+	// Address scrambling (OS page-allocation randomness): an LCG-based
+	// cycle-walking permutation over the logical sector space, so
+	// contiguous application footprints spread uniformly over the
+	// congruence groups and their members.
+	permPow2 uint32
+	permMul  uint32
+	permAdd  uint32
+}
+
+type remapCache struct {
+	tags  []uint64
+	lru   []uint64
+	sets  int
+	assoc int
+	clock uint64
+}
+
+func newRemapCache(entries, assoc int) *remapCache {
+	sets := entries / assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("chameleon: remap cache sets must be a positive power of two")
+	}
+	return &remapCache{tags: make([]uint64, entries), lru: make([]uint64, entries), sets: sets, assoc: assoc}
+}
+
+func (r *remapCache) lookup(logical uint32) bool {
+	r.clock++
+	set := int(logical) % r.sets
+	base := set * r.assoc
+	victim := base
+	key := uint64(logical) + 1
+	for i := base; i < base+r.assoc; i++ {
+		if r.tags[i] == key {
+			r.lru[i] = r.clock
+			return true
+		}
+		if r.tags[victim] == 0 {
+			continue
+		}
+		if r.tags[i] == 0 || r.lru[i] < r.lru[victim] {
+			victim = i
+		}
+	}
+	r.tags[victim] = key
+	r.lru[victim] = r.clock
+	return false
+}
+
+// PoM returns the configuration of Chameleon's base design, Part-of-
+// Memory (Sim et al., MICRO'14, [7] in the paper): the same congruence
+// groups and competing counters with no cache-mode slice.
+func PoM(nmBytes, fmBytes uint64, remapEntries int, seed uint64) Config {
+	cfg := Default(nmBytes, fmBytes, 0, remapEntries, seed)
+	return cfg
+}
+
+// New builds Chameleon over the two devices.
+func New(cfg Config, nm, fm *memsys.Device) *Chameleon {
+	flatNM := uint32((cfg.NMBytes - cfg.CacheBytes) / uint64(cfg.SectorBytes))
+	fmSec := uint32(cfg.FMBytes / uint64(cfg.SectorBytes))
+	if flatNM == 0 {
+		panic("chameleon: no flat NM capacity")
+	}
+	k := fmSec / flatNM
+	if k == 0 {
+		k = 1
+	}
+	pinned := fmSec - flatNM*k
+	c := &Chameleon{
+		cfg:      cfg,
+		nm:       nm,
+		fm:       fm,
+		groups:   flatNM,
+		k:        k,
+		pinned:   pinned,
+		slots:    make([]uint8, uint64(flatNM)*uint64(k+1)),
+		occupant: make([]uint8, flatNM),
+		cand:     make([]uint8, flatNM),
+		ctr:      make([]int16, flatNM),
+		lastSeg:  ^uint32(0),
+		rc:       newRemapCache(cfg.RemapCacheEntries, 16),
+
+		cacheBase: memtypes.Addr(cfg.NMBytes - cfg.CacheBytes),
+	}
+	if slots := int(cfg.CacheBytes / uint64(cfg.CacheLineBytes)); slots > 0 {
+		c.cache = newSegCache(slots)
+	}
+	for i := range c.cand {
+		c.cand[i] = 255
+	}
+	p := uint32(1)
+	for p < c.Sectors() {
+		p <<= 1
+	}
+	c.permPow2 = p
+	c.permMul = uint32(cfg.Seed)*8 + 5 // odd multiplier: bijective mod 2^k
+	c.permAdd = uint32(cfg.Seed>>16) | 1
+	// Initial placement: member 0 of each group in NM, member j (>0) in
+	// FM slot g*k+(j-1).
+	for g := uint32(0); g < flatNM; g++ {
+		base := uint64(g) * uint64(k+1)
+		c.slots[base] = 0
+		for j := uint32(1); j <= k; j++ {
+			c.slots[base+uint64(j)] = uint8(j)
+		}
+	}
+	return c
+}
+
+// Name implements MemorySystem.
+func (c *Chameleon) Name() string {
+	if c.cache == nil {
+		return "POM"
+	}
+	return "CHA"
+}
+
+// Stats implements MemorySystem.
+func (c *Chameleon) Stats() *memtypes.MemStats { return &c.stats }
+
+// Sectors returns the logical flat-space size in sectors.
+func (c *Chameleon) Sectors() uint32 { return c.groups*(c.k+1) + c.pinned }
+
+// scramble permutes the logical sector space (cycle-walking LCG): an
+// affine map with odd multiplier is a bijection on [0, 2^k); values
+// landing outside the sector range are walked until they fall inside.
+func (c *Chameleon) scramble(logical uint32) uint32 {
+	n := c.Sectors()
+	x := logical
+	for {
+		x = (x*c.permMul + c.permAdd) & (c.permPow2 - 1)
+		if x < n {
+			return x
+		}
+	}
+}
+
+// locate returns whether logical is in NM and the device sector address.
+// Callers pass already scrambled sector numbers.
+func (c *Chameleon) locate(logical uint32) (inNM bool, addr memtypes.Addr) {
+	grouped := c.groups * (c.k + 1)
+	if logical >= grouped {
+		// Pinned FM sector beyond the grouped region.
+		slot := c.groups*c.k + (logical - grouped)
+		return false, memtypes.Addr(slot) * memtypes.Addr(c.cfg.SectorBytes)
+	}
+	g := logical % c.groups
+	j := logical / c.groups
+	v := c.slots[uint64(g)*uint64(c.k+1)+uint64(j)]
+	if v == 0 {
+		return true, memtypes.Addr(g) * memtypes.Addr(c.cfg.SectorBytes)
+	}
+	slot := g*c.k + uint32(v-1)
+	return false, memtypes.Addr(slot) * memtypes.Addr(c.cfg.SectorBytes)
+}
+
+// swap exchanges member j with the group's occupant, charging the full
+// 2×sector movement plus remap metadata updates.
+func (c *Chameleon) swap(now memtypes.Tick, g, j uint32) {
+	base := uint64(g) * uint64(c.k+1)
+	occ := uint32(c.occupant[g])
+	sb := c.cfg.SectorBytes
+	nmAddr := memtypes.Addr(g) * memtypes.Addr(sb)
+	v := c.slots[base+uint64(j)]
+	fmAddr := memtypes.Addr(g*c.k+uint32(v-1)) * memtypes.Addr(sb)
+
+	tA := c.fm.AccessBG(now, fmAddr, sb, false)
+	tB := c.nm.AccessBG(now, nmAddr, sb, false)
+	end := tA
+	if tB > end {
+		end = tB
+	}
+	c.nm.AccessBG(end, nmAddr, sb, true)
+	c.fm.AccessBG(end, fmAddr, sb, true)
+	c.stats.FMReadBytes += uint64(sb)
+	c.stats.NMReadBytes += uint64(sb)
+	c.stats.NMWriteBytes += uint64(sb)
+	c.stats.FMWriteBytes += uint64(sb)
+	// Remap metadata update for the group, in NM.
+	c.nm.AccessBG(end, c.cacheBase-memtypes.Addr(1+g%4096)*64, 64, true)
+	c.stats.NMWriteBytes += 64
+	c.stats.MetaNMBytes += 64
+	c.stats.Migrations++
+
+	c.slots[base+uint64(occ)] = v
+	c.slots[base+uint64(j)] = 0
+	c.occupant[g] = uint8(j)
+}
+
+// cacheAccess tries the cache-mode slice for an FM-resident access.
+// repeat marks a continuing burst through the same sector (such touches
+// do not count toward the install-reuse threshold).
+// Returns the completion time and whether the access hit.
+func (c *Chameleon) cacheAccess(now memtypes.Tick, addr memtypes.Addr, fmAddr memtypes.Addr, write, repeat bool) (memtypes.Tick, bool) {
+	lb := c.cfg.CacheLineBytes
+	seg := uint64(addr) / uint64(lb)
+	off := memtypes.Addr(uint64(addr) % uint64(lb))
+	sc := c.cache
+
+	if slot, ok := sc.where[seg]; ok {
+		slotAddr := c.cacheBase + memtypes.Addr(slot*lb)
+		done := c.nm.Access(now, slotAddr+off, 64, write)
+		if write {
+			sc.dirty[slot] = true
+			c.stats.NMWriteBytes += 64
+		} else {
+			c.stats.NMReadBytes += 64
+		}
+		return done, true
+	}
+
+	// Miss: serve from FM, track reuse, install on the threshold touch.
+	done := c.fm.Access(now, fmAddr, 64, write)
+	if write {
+		c.stats.FMWriteBytes += 64
+	} else {
+		c.stats.FMReadBytes += 64
+	}
+	if len(sc.touches) >= 8192 {
+		for k := range sc.touches {
+			delete(sc.touches, k)
+		}
+	}
+	if !repeat {
+		sc.touches[seg]++
+	}
+	// Installs draw from the same demand-earned credit pool as swaps
+	// (a 2 KB fill costs 32 demand accesses of FM bytes), so cache fills
+	// cannot swamp demand traffic on low-spatial-locality workloads.
+	if int(sc.touches[seg]) >= installThreshold && c.swapCredit >= 32 {
+		c.swapCredit -= 32
+		delete(sc.touches, seg)
+		slot := sc.fifo
+		sc.fifo = (sc.fifo + 1) % len(sc.slots)
+		slotAddr := c.cacheBase + memtypes.Addr(slot*lb)
+		if old := sc.slots[slot]; old != 0 {
+			delete(sc.where, old-1)
+			if sc.dirty[slot] {
+				rd := c.nm.AccessBG(now, slotAddr, lb, false)
+				c.fm.AccessBG(rd, memtypes.Addr(old-1)*memtypes.Addr(lb), lb, true)
+				c.stats.NMReadBytes += uint64(lb)
+				c.stats.FMWriteBytes += uint64(lb)
+				c.stats.Evictions++
+			}
+		}
+		segBase := fmAddr - fmAddr%memtypes.Addr(lb)
+		rd := c.fm.AccessBG(now, segBase, lb, false)
+		c.nm.AccessBG(rd, slotAddr, lb, true)
+		c.stats.FMReadBytes += uint64(lb)
+		c.stats.NMWriteBytes += uint64(lb)
+		sc.slots[slot] = seg + 1
+		sc.dirty[slot] = write
+		sc.where[seg] = slot
+	}
+	return done, false
+}
+
+// Access implements MemorySystem.
+func (c *Chameleon) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	c.stats.Requests++
+	logical := uint32(uint64(addr) / uint64(c.cfg.SectorBytes))
+	if logical >= c.Sectors() {
+		logical %= c.Sectors()
+	}
+	logical = c.scramble(logical)
+	offset := memtypes.Addr(uint64(addr) % uint64(c.cfg.SectorBytes))
+
+	// Chameleon's remap metadata is per-group (a few bits per member), so
+	// one remap-cache entry covers a whole congruence group.
+	if g := logical % c.groups; !c.rc.lookup(g) {
+		// Remap-table read in NM on the critical path, spread over the
+		// metadata region like the real per-group table.
+		now = c.nm.Access(now, c.cacheBase-memtypes.Addr(1+g%4096)*64, 64, false)
+		c.stats.NMReadBytes += 64
+		c.stats.MetaNMBytes += 64
+	}
+
+	inNM, secAddr := c.locate(logical)
+	grouped := c.groups * (c.k + 1)
+	repeat := logical == c.lastSeg
+	c.lastSeg = logical
+
+	// Competing-counter update and possible swap for grouped sectors.
+	// Consecutive accesses to the same sector (a streaming burst through
+	// a segment) count as one episode, so the counters measure segment
+	// reuse rather than burst length.
+	if logical < grouped && !repeat {
+		g := logical % c.groups
+		j := logical / c.groups
+		if uint8(j) == c.occupant[g] {
+			if c.ctr[g] > 0 {
+				c.ctr[g]--
+			}
+		} else {
+			switch {
+			case c.cand[g] == uint8(j):
+				c.ctr[g]++
+			case c.ctr[g] <= 0:
+				c.cand[g] = uint8(j)
+				c.ctr[g] = 1
+			default:
+				c.ctr[g]--
+			}
+			if c.cand[g] == uint8(j) && int(c.ctr[g]) >= c.cfg.Threshold && c.swapCredit >= 64 {
+				c.swapCredit -= 64
+				c.swap(now, g, j)
+				c.cand[g] = 255
+				c.ctr[g] = 0
+				inNM, secAddr = c.locate(logical)
+			}
+		}
+	}
+
+	if inNM {
+		c.stats.ServedNM++
+		done := c.nm.Access(now, secAddr+offset, 64, write)
+		if write {
+			c.stats.NMWriteBytes += 64
+		} else {
+			c.stats.NMReadBytes += 64
+		}
+		return done
+	}
+
+	// FM-resident: try the cache-mode slice first (PoM mode has none).
+	if c.swapCredit < 64*64 {
+		c.swapCredit++
+	}
+	if c.cache == nil {
+		c.stats.ServedFM++
+		done := c.fm.Access(now, secAddr+offset, 64, write)
+		if write {
+			c.stats.FMWriteBytes += 64
+		} else {
+			c.stats.FMReadBytes += 64
+		}
+		return done
+	}
+	done, hit := c.cacheAccess(now, addr, secAddr+offset, write, repeat)
+	if hit {
+		c.stats.ServedNM++
+	} else {
+		c.stats.ServedFM++
+	}
+	return done
+}
+
+// Finish implements MemorySystem (no deferred interval work).
+func (c *Chameleon) Finish(memtypes.Tick) {}

@@ -1,0 +1,34 @@
+package dramcache
+
+import (
+	"testing"
+)
+
+func TestAlloyProbeCosts(t *testing.T) {
+	nm, fm := devices()
+	c := New(Alloy(1<<20), nm, fm)
+	c.Access(0, 0, false) // miss: TAD probe + FM fetch
+	s := c.Stats()
+	if s.MetaNMBytes != 72 {
+		t.Fatalf("miss probe charged %d meta bytes, want 72", s.MetaNMBytes)
+	}
+	c.Access(5000, 0, false) // hit: one 72 B TAD burst
+	if got := s.NMReadBytes - 72; got != 72 {
+		t.Fatalf("hit read %d bytes, want 72", got)
+	}
+	if s.ServedNM != 1 {
+		t.Fatal("hit not served from NM")
+	}
+}
+
+func TestAlloyDirectMappedConflicts(t *testing.T) {
+	nm, fm := devices()
+	c := New(Alloy(1<<20), nm, fm)
+	// Two addresses one cache-size apart conflict in a direct-mapped cache.
+	c.Access(0, 0, false)
+	c.Access(1000, 1<<20, false)
+	c.Access(2000, 0, false) // must miss again
+	if c.Stats().ServedNM != 0 {
+		t.Fatalf("direct-mapped conflict not modeled: %+v", c.Stats())
+	}
+}

@@ -1,0 +1,236 @@
+// Package dramcache implements the DRAM-cache family of the paper's
+// comparison: the near memory used entirely as a cache of far memory.
+// One parameterized implementation covers three designs:
+//
+//   - IDEAL: no tag-lookup overhead at any line size (Figures 1, 2)
+//   - TAGLESS (Lee et al., ISCA'15): 4 KB pages tracked through the
+//     TLB/page tables, hence no tag overhead, but full-page fills
+//   - DFC (Decoupled Fused Cache, TACO'19): tags live in DRAM but are
+//     fused with the on-chip LLC tags; modelled as a small on-chip lookup
+//     latency on every access plus one NM metadata access per miss
+//
+// Lines are fetched whole from FM on a miss (the over-fetch behaviour
+// Figure 1 quantifies); per-64B-chunk use masks feed the wasted-data
+// accounting.
+package dramcache
+
+import (
+	"math/bits"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+// Config selects a member of the DRAM-cache family.
+type Config struct {
+	Name      string
+	NMBytes   uint64 // cache capacity = all of near memory
+	LineBytes int    // DRAM-cache line (64 B .. 4 KB)
+	Assoc     int
+	// TagLatency is an on-chip lookup latency added to every access
+	// (DFC's fused tag structures). Zero for IDEAL/TAGLESS.
+	TagLatency memtypes.Tick
+	// MetaPerMiss charges one 64 B NM metadata read on the critical path
+	// of every miss plus one background metadata write (DFC's in-DRAM
+	// tag array). False for IDEAL/TAGLESS.
+	MetaPerMiss bool
+	// TADBytes, when non-zero, models Alloy-style tag-and-data fusion:
+	// every probe (hit or miss) is one NM burst of this size — the tag
+	// rides along with the data, so there is no separate lookup, but a
+	// miss still pays the probe before going to FM.
+	TADBytes int
+}
+
+// Ideal returns the ideal-cache configuration at a line size (Fig. 1/2).
+func Ideal(nmBytes uint64, lineBytes int) Config {
+	return Config{Name: "IDEAL", NMBytes: nmBytes, LineBytes: lineBytes, Assoc: 16}
+}
+
+// Tagless returns the Tagless DRAM cache configuration: 4 KB pages, no
+// tag overhead (the paper optimistically models no OS overhead either).
+func Tagless(nmBytes uint64) Config {
+	return Config{Name: "TAGLESS", NMBytes: nmBytes, LineBytes: 4096, Assoc: 32}
+}
+
+// DFC returns the Decoupled Fused Cache configuration. The paper found
+// its best performance at 1 KB lines; Fig. 2 sweeps other sizes.
+func DFC(nmBytes uint64, lineBytes int) Config {
+	return Config{Name: "DFC", NMBytes: nmBytes, LineBytes: lineBytes, Assoc: 16,
+		TagLatency: 4, MetaPerMiss: true}
+}
+
+// Alloy returns the Alloy cache configuration (Qureshi & Loh, MICRO'12,
+// §2.1 of the paper): direct-mapped, 64 B lines, tag collocated with the
+// data so each probe is a single burst (TAD) — the practical design on
+// the small-line end of the DRAM-cache spectrum.
+func Alloy(nmBytes uint64) Config {
+	return Config{Name: "ALLOY", NMBytes: nmBytes, LineBytes: 64, Assoc: 1, TADBytes: 72}
+}
+
+type entry struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	usedMask uint64 // per-64B chunk touch bits (lines up to 4 KB)
+	lru      uint64
+}
+
+// Cache is a DRAM cache over the NM device backed by the FM device.
+type Cache struct {
+	cfg      Config
+	nm, fm   *memsys.Device
+	entries  []entry
+	sets     int
+	assoc    int
+	shift    uint
+	chunks   int // 64 B chunks per line
+	clock    uint64
+	stats    memtypes.MemStats
+	metaBase memtypes.Addr // NM address region used for DFC metadata
+}
+
+// New builds the cache. NMBytes must be a multiple of Assoc*LineBytes
+// with a power-of-two set count.
+func New(cfg Config, nm, fm *memsys.Device) *Cache {
+	sets := int(cfg.NMBytes) / (cfg.Assoc * cfg.LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("dramcache: set count must be a positive power of two")
+	}
+	shift := uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+	if 1<<shift != cfg.LineBytes || cfg.LineBytes < 64 {
+		panic("dramcache: line size must be a power of two >= 64")
+	}
+	return &Cache{
+		cfg:      cfg,
+		nm:       nm,
+		fm:       fm,
+		entries:  make([]entry, sets*cfg.Assoc),
+		sets:     sets,
+		assoc:    cfg.Assoc,
+		shift:    shift,
+		chunks:   cfg.LineBytes / 64,
+		metaBase: memtypes.Addr(cfg.NMBytes),
+	}
+}
+
+// Name implements MemorySystem.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats implements MemorySystem.
+func (c *Cache) Stats() *memtypes.MemStats { return &c.stats }
+
+// nmAddr maps an entry slot to its NM data location.
+func (c *Cache) nmAddr(set, way int) memtypes.Addr {
+	return memtypes.Addr((set*c.assoc + way) * c.cfg.LineBytes)
+}
+
+// Access implements MemorySystem.
+func (c *Cache) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	c.stats.Requests++
+	c.clock++
+	now += c.cfg.TagLatency
+
+	blk := uint64(addr) >> c.shift
+	set := int(blk % uint64(c.sets))
+	tag := blk / uint64(c.sets)
+	chunk := uint(uint64(addr) % uint64(c.cfg.LineBytes) / 64)
+	ways := c.entries[set*c.assoc : (set+1)*c.assoc]
+
+	victim := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.clock
+			w.usedMask |= 1 << chunk
+			if write {
+				w.dirty = true
+			}
+			c.stats.ServedNM++
+			sz := 64
+			if c.cfg.TADBytes > 0 {
+				sz = c.cfg.TADBytes // tag rides with the data
+			}
+			done := c.nm.Access(now, c.nmAddr(set, i)+memtypes.Addr(chunk*64), sz, write)
+			if write {
+				c.stats.NMWriteBytes += uint64(sz)
+			} else {
+				c.stats.NMReadBytes += uint64(sz)
+			}
+			return done
+		}
+		if !ways[victim].valid {
+			continue
+		}
+		if !w.valid || w.lru < ways[victim].lru {
+			victim = i
+		}
+	}
+
+	// Miss: evict the victim, fetch the whole line from FM.
+	c.stats.ServedFM++
+	w := &ways[victim]
+	slot := c.nmAddr(set, victim)
+	if w.valid {
+		c.evict(now, set, victim)
+	}
+
+	if c.cfg.TADBytes > 0 {
+		// Alloy probe: the miss is only discovered after reading the TAD.
+		now = c.nm.Access(now, slot, c.cfg.TADBytes, false)
+		c.stats.NMReadBytes += uint64(c.cfg.TADBytes)
+		c.stats.MetaNMBytes += uint64(c.cfg.TADBytes)
+	}
+	if c.cfg.MetaPerMiss {
+		// In-DRAM tag read on the critical path + background tag update.
+		now = c.nm.Access(now, c.metaBase+memtypes.Addr(set*64), 64, false)
+		c.nm.AccessBG(now, c.metaBase+memtypes.Addr(set*64), 64, true)
+		c.stats.NMReadBytes += 64
+		c.stats.NMWriteBytes += 64
+		c.stats.MetaNMBytes += 128
+	}
+
+	// Critical-word-first: the demanded 64 B chunk arrives first; the
+	// rest of the line streams behind it, occupying FM bandwidth but not
+	// the miss critical path.
+	lineBase := memtypes.Addr(blk << c.shift)
+	fetchDone, fullDone := c.fm.AccessCriticalFirst(now, lineBase, c.cfg.LineBytes, 64)
+	c.stats.FMReadBytes += uint64(c.cfg.LineBytes)
+	c.stats.FetchedBytes += uint64(c.cfg.LineBytes)
+	// Fill into NM in the background.
+	c.nm.AccessBG(fullDone, slot, c.cfg.LineBytes, true)
+	c.stats.NMWriteBytes += uint64(c.cfg.LineBytes)
+
+	w.valid = true
+	w.tag = tag
+	w.dirty = write
+	w.usedMask = 1 << chunk
+	w.lru = c.clock
+	return fetchDone
+}
+
+// evict writes a dirty victim back to FM and accounts its used chunks.
+func (c *Cache) evict(now memtypes.Tick, set, way int) {
+	w := &c.entries[set*c.assoc+way]
+	c.stats.UsedBytes += uint64(bits.OnesCount64(w.usedMask)) * 64
+	c.stats.Evictions++
+	if w.dirty {
+		rd := c.nm.AccessBG(now, c.nmAddr(set, way), c.cfg.LineBytes, false)
+		victimAddr := memtypes.Addr((w.tag*uint64(c.sets) + uint64(set)) << c.shift)
+		c.fm.AccessBG(rd, victimAddr, c.cfg.LineBytes, true)
+		c.stats.NMReadBytes += uint64(c.cfg.LineBytes)
+		c.stats.FMWriteBytes += uint64(c.cfg.LineBytes)
+	}
+	w.valid = false
+}
+
+// Finish credits the use masks of still-resident lines so the wasted-data
+// fraction is not overstated at simulation end.
+func (c *Cache) Finish(memtypes.Tick) {
+	for i := range c.entries {
+		w := &c.entries[i]
+		if w.valid {
+			c.stats.UsedBytes += uint64(bits.OnesCount64(w.usedMask)) * 64
+			w.usedMask = 0
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package flat
+
+import (
+	"testing"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+func TestFMOnlyServesEverythingFromFM(t *testing.T) {
+	f := NewFMOnly(memsys.New(memsys.DDR4Config()))
+	var now memtypes.Tick
+	for i := 0; i < 100; i++ {
+		now = f.Access(now, memtypes.Addr(i*64), i%3 == 0)
+	}
+	s := f.Stats()
+	if s.ServedFM != 100 || s.ServedNM != 0 {
+		t.Fatalf("served FM/NM = %d/%d, want 100/0", s.ServedFM, s.ServedNM)
+	}
+	if s.FMTraffic() != 100*64 {
+		t.Fatalf("FM traffic %d, want %d", s.FMTraffic(), 100*64)
+	}
+	if s.NMTraffic() != 0 {
+		t.Fatal("baseline produced NM traffic")
+	}
+}
+
+func TestNMOnlyFasterThanFMOnly(t *testing.T) {
+	fm := NewFMOnly(memsys.New(memsys.DDR4Config()))
+	nm := NewNMOnly(memsys.New(memsys.HBM2Config()))
+	var tFM, tNM memtypes.Tick
+	for i := 0; i < 1000; i++ {
+		a := memtypes.Addr(i * 64)
+		tFM = fm.Access(tFM, a, false)
+		tNM = nm.Access(tNM, a, false)
+	}
+	if tNM >= tFM {
+		t.Fatalf("NM-only (%d) not faster than FM-only (%d)", tNM, tFM)
+	}
+}

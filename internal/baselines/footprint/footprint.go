@@ -1,0 +1,203 @@
+// Package footprint implements the Footprint Cache (Jevdjic, Volos,
+// Falsafi, ISCA'13), the §2.1 design that tackles the over-fetch of
+// large DRAM-cache lines: data is allocated at page (2 KB) granularity
+// with on-chip tags, but on allocation only the lines the page's
+// *footprint* — the set of lines used during its previous residency — is
+// fetched, plus the demanded line. Remaining lines are demand-fetched on
+// first touch. On eviction, the page's observed footprint is stored in a
+// history table keyed by page address and seeds the next allocation.
+package footprint
+
+import (
+	"math/bits"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+// Config parameterizes the footprint cache.
+type Config struct {
+	NMBytes    uint64
+	PageBytes  int // footprint page (2 KB in the original design)
+	Assoc      int
+	HistoryMax int // bounded footprint-history table entries
+}
+
+// Default returns the standard configuration over all of NM.
+func Default(nmBytes uint64) Config {
+	return Config{NMBytes: nmBytes, PageBytes: 2048, Assoc: 16, HistoryMax: 1 << 16}
+}
+
+type entry struct {
+	tag      uint64
+	valid    bool
+	validVec uint32 // per-64B-line presence
+	dirtyVec uint32
+	usedVec  uint32 // footprint observed this residency
+	lru      uint64
+}
+
+// Cache implements memtypes.MemorySystem.
+type Cache struct {
+	cfg     Config
+	nm, fm  *memsys.Device
+	entries []entry
+	sets    int
+	lines   int // 64 B lines per page
+	clock   uint64
+	history map[uint64]uint32 // page -> footprint of last residency
+	stats   memtypes.MemStats
+}
+
+// New builds the footprint cache over the two devices.
+func New(cfg Config, nm, fm *memsys.Device) *Cache {
+	sets := int(cfg.NMBytes) / (cfg.Assoc * cfg.PageBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("footprint: set count must be a positive power of two")
+	}
+	lines := cfg.PageBytes / memtypes.CPULineBytes
+	if lines > 32 {
+		panic("footprint: pages larger than 32 lines unsupported")
+	}
+	return &Cache{
+		cfg:     cfg,
+		nm:      nm,
+		fm:      fm,
+		entries: make([]entry, sets*cfg.Assoc),
+		sets:    sets,
+		lines:   lines,
+		history: make(map[uint64]uint32, 4096),
+	}
+}
+
+// Name implements MemorySystem.
+func (c *Cache) Name() string { return "FOOTPRINT" }
+
+// Stats implements MemorySystem.
+func (c *Cache) Stats() *memtypes.MemStats { return &c.stats }
+
+func (c *Cache) nmAddr(set, way int, line uint) memtypes.Addr {
+	return memtypes.Addr((set*c.cfg.Assoc+way)*c.cfg.PageBytes) + memtypes.Addr(line)*64
+}
+
+// Access implements MemorySystem.
+func (c *Cache) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	c.stats.Requests++
+	c.clock++
+	page := uint64(addr) / uint64(c.cfg.PageBytes)
+	set := int(page % uint64(c.sets))
+	tag := page / uint64(c.sets)
+	line := uint(uint64(addr) % uint64(c.cfg.PageBytes) / 64)
+	ways := c.entries[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
+
+	victim := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.clock
+			w.usedVec |= 1 << line
+			if w.validVec&(1<<line) != 0 { // line present
+				c.stats.ServedNM++
+				done := c.nm.Access(now, c.nmAddr(set, i, line), 64, write)
+				if write {
+					w.dirtyVec |= 1 << line
+					c.stats.NMWriteBytes += 64
+				} else {
+					c.stats.NMReadBytes += 64
+				}
+				return done
+			}
+			// Page present, line outside the predicted footprint:
+			// demand-fetch just this line.
+			c.stats.ServedFM++
+			done := c.fm.Access(now, memtypes.Addr(page*uint64(c.cfg.PageBytes))+memtypes.Addr(line)*64, 64, false)
+			c.nm.AccessBG(done, c.nmAddr(set, i, line), 64, true)
+			c.stats.FMReadBytes += 64
+			c.stats.NMWriteBytes += 64
+			c.stats.FetchedBytes += 64
+			w.validVec |= 1 << line
+			if write {
+				w.dirtyVec |= 1 << line
+			}
+			return done
+		}
+		if !ways[victim].valid {
+			continue
+		}
+		if !w.valid || w.lru < ways[victim].lru {
+			victim = i
+		}
+	}
+
+	// Page miss: evict the victim, allocate, fetch the predicted
+	// footprint (or just the demanded line on a cold page).
+	c.stats.ServedFM++
+	w := &ways[victim]
+	if w.valid {
+		c.evict(now, set, victim)
+	}
+	fp := c.history[page] | 1<<line
+	pageBase := memtypes.Addr(page * uint64(c.cfg.PageBytes))
+
+	// Demanded line first (critical), predicted lines in the background.
+	done := c.fm.Access(now, pageBase+memtypes.Addr(line)*64, 64, false)
+	c.nm.AccessBG(done, c.nmAddr(set, victim, line), 64, true)
+	fetched := uint64(64)
+	for m := fp &^ (1 << line); m != 0; m &= m - 1 {
+		l := uint(bits.TrailingZeros32(m))
+		rd := c.fm.AccessBG(now, pageBase+memtypes.Addr(l)*64, 64, false)
+		c.nm.AccessBG(rd, c.nmAddr(set, victim, l), 64, true)
+		fetched += 64
+	}
+	c.stats.FMReadBytes += fetched
+	c.stats.NMWriteBytes += fetched
+	c.stats.FetchedBytes += fetched
+
+	w.valid = true
+	w.tag = tag
+	w.validVec = fp
+	w.usedVec = 1 << line
+	w.dirtyVec = 0
+	if write {
+		w.dirtyVec = 1 << line
+	}
+	w.lru = c.clock
+	return done
+}
+
+// evict writes dirty lines back and records the observed footprint.
+func (c *Cache) evict(now memtypes.Tick, set, way int) {
+	w := &c.entries[set*c.cfg.Assoc+way]
+	page := w.tag*uint64(c.sets) + uint64(set)
+	pageBase := memtypes.Addr(page * uint64(c.cfg.PageBytes))
+	for m := w.dirtyVec; m != 0; m &= m - 1 {
+		l := uint(bits.TrailingZeros32(m))
+		rd := c.nm.AccessBG(now, c.nmAddr(set, way, l), 64, false)
+		c.fm.AccessBG(rd, pageBase+memtypes.Addr(l)*64, 64, true)
+		c.stats.NMReadBytes += 64
+		c.stats.FMWriteBytes += 64
+	}
+	c.stats.UsedBytes += uint64(bits.OnesCount32(w.usedVec)) * 64
+	c.stats.Evictions++
+	if len(c.history) >= c.cfg.HistoryMax {
+		for k := range c.history {
+			delete(c.history, k)
+		}
+	}
+	c.history[page] = w.usedVec
+	w.valid = false
+}
+
+// Finish credits resident pages' use vectors (wasted-fetch accounting).
+func (c *Cache) Finish(memtypes.Tick) {
+	for i := range c.entries {
+		w := &c.entries[i]
+		if w.valid {
+			c.stats.UsedBytes += uint64(bits.OnesCount32(w.usedVec)) * 64
+			w.usedVec = 0
+		}
+	}
+}
+
+// HistoryLen exposes the footprint-table size for tests.
+func (c *Cache) HistoryLen() int { return len(c.history) }

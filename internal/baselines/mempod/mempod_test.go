@@ -1,0 +1,98 @@
+package mempod
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+func newSmall(seed uint64) *MemPod {
+	cfg := Default(1<<20, 8<<20, 512, seed)
+	return New(cfg, memsys.New(memsys.HBM2Config()), memsys.New(memsys.DDR4Config()))
+}
+
+func TestHotSegmentMigratesAfterInterval(t *testing.T) {
+	m := newSmall(1)
+	// Find an FM-resident sector and hammer it through one interval.
+	var addr memtypes.Addr
+	for l := uint32(0); l < m.Space().Sectors(); l++ {
+		if !m.Space().Lookup(l).NM {
+			addr = memtypes.Addr(l) * 2048
+			break
+		}
+	}
+	var now memtypes.Tick
+	for i := 0; i < 1000; i++ {
+		now += 200
+		m.Access(now, addr, false)
+	}
+	// Crossing the interval boundary triggers migration of the MEA-hot
+	// segment; the access after the boundary must be served from NM.
+	m.Access(m.cfg.IntervalCycles+1000, addr, false)
+	logical := uint32(uint64(addr) / 2048)
+	if !m.Space().Lookup(logical).NM {
+		t.Fatal("hot segment not migrated at interval end")
+	}
+	if m.Stats().Migrations == 0 {
+		t.Fatal("no migrations recorded")
+	}
+}
+
+func TestMEATracksAtMostConfiguredCounters(t *testing.T) {
+	m := newSmall(2)
+	for seg := uint32(0); seg < 1000; seg++ {
+		m.observe(seg)
+	}
+	if len(m.mea) > m.cfg.MEACounters {
+		t.Fatalf("MEA holds %d entries, cap %d", len(m.mea), m.cfg.MEACounters)
+	}
+}
+
+func TestMEAMajorityElementSurvives(t *testing.T) {
+	m := newSmall(3)
+	// One segment with strict majority must survive arbitrary noise.
+	for i := 0; i < 5000; i++ {
+		m.observe(42)
+		if i%2 == 0 {
+			m.observe(uint32(1000 + i)) // unique noise
+		}
+	}
+	if i, ok := m.meaIdx[42]; !ok || m.mea[i].count <= m.debt {
+		t.Fatal("majority element lost by MEA")
+	}
+}
+
+func TestInvariantsUnderTraffic(t *testing.T) {
+	m := newSmall(4)
+	rng := rand.New(rand.NewSource(7))
+	space := uint64(m.Space().Sectors()) * 2048
+	var now memtypes.Tick
+	for i := 0; i < 40000; i++ {
+		now += 60
+		m.Access(now, memtypes.Addr(rng.Uint64()%space), rng.Intn(4) == 0)
+	}
+	m.Finish(now)
+	if !m.Space().CheckInvariants() {
+		t.Fatal("remap bijection broken")
+	}
+	s := m.Stats()
+	if s.ServedNM+s.ServedFM != s.Requests {
+		t.Fatalf("served sums %d+%d != requests %d", s.ServedNM, s.ServedFM, s.Requests)
+	}
+}
+
+func TestRemapCacheMissesChargeNMMeta(t *testing.T) {
+	m := newSmall(5)
+	rng := rand.New(rand.NewSource(8))
+	space := uint64(m.Space().Sectors()) * 2048
+	var now memtypes.Tick
+	for i := 0; i < 5000; i++ {
+		now += 60
+		m.Access(now, memtypes.Addr(rng.Uint64()%space), false)
+	}
+	if m.Stats().MetaNMBytes == 0 {
+		t.Fatal("wide random traffic produced no remap-cache misses")
+	}
+}

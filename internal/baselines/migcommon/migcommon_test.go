@@ -1,0 +1,190 @@
+package migcommon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+func newSpace(seed uint64) (*Space, *memtypes.MemStats) {
+	stats := &memtypes.MemStats{}
+	s := NewSpace(2048, 1<<20, 8<<20, memsys.New(memsys.HBM2Config()), memsys.New(memsys.DDR4Config()), stats, seed)
+	return s, stats
+}
+
+func TestInitialPlacementBijective(t *testing.T) {
+	s, _ := newSpace(3)
+	if !s.CheckInvariants() {
+		t.Fatal("initial placement not bijective")
+	}
+	if s.Sectors() != s.NMSectors+s.FMSectors {
+		t.Fatal("sector count mismatch")
+	}
+}
+
+func TestPlacementProportionalToCapacity(t *testing.T) {
+	s, _ := newSpace(5)
+	inNM := 0
+	for l := uint32(0); l < s.Sectors(); l++ {
+		if s.Lookup(l).NM {
+			inNM++
+		}
+	}
+	frac := float64(inNM) / float64(s.Sectors())
+	want := float64(s.NMSectors) / float64(s.Sectors())
+	if frac < want*0.99 || frac > want*1.01 {
+		t.Fatalf("NM-resident fraction %.4f, want %.4f", frac, want)
+	}
+}
+
+func TestPlacementSeeded(t *testing.T) {
+	a, _ := newSpace(7)
+	b, _ := newSpace(7)
+	c, _ := newSpace(8)
+	same, diff := true, false
+	for l := uint32(0); l < a.Sectors(); l++ {
+		if a.Lookup(l) != b.Lookup(l) {
+			same = false
+		}
+		if a.Lookup(l) != c.Lookup(l) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed gave different placements")
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical placements")
+	}
+}
+
+func TestSwapMovesSectorAndPreservesBijection(t *testing.T) {
+	s, stats := newSpace(9)
+	var fmSector uint32
+	for l := uint32(0); l < s.Sectors(); l++ {
+		if !s.Lookup(l).NM {
+			fmSector = l
+			break
+		}
+	}
+	displaced := s.Swap(0, fmSector, 0, 0)
+	if !s.Lookup(fmSector).NM {
+		t.Fatal("swapped sector not in NM")
+	}
+	if s.Lookup(displaced).NM {
+		t.Fatal("displaced sector still in NM")
+	}
+	if !s.CheckInvariants() {
+		t.Fatal("bijection broken by swap")
+	}
+	if stats.Migrations != 1 {
+		t.Fatalf("migrations %d, want 1", stats.Migrations)
+	}
+	// Full swap traffic: sector each way on both devices + 2 remap writes.
+	if stats.FMReadBytes != 2048 || stats.FMWriteBytes != 2048 {
+		t.Fatalf("FM traffic %d/%d, want 2048/2048", stats.FMReadBytes, stats.FMWriteBytes)
+	}
+}
+
+func TestSwapSkipBytesReducesFMRead(t *testing.T) {
+	s, stats := newSpace(11)
+	var fmSector uint32
+	for l := uint32(0); l < s.Sectors(); l++ {
+		if !s.Lookup(l).NM {
+			fmSector = l
+			break
+		}
+	}
+	s.Swap(0, fmSector, 0, 512)
+	if stats.FMReadBytes != 2048-512 {
+		t.Fatalf("FM read %d, want %d", stats.FMReadBytes, 2048-512)
+	}
+}
+
+func TestSwapFromNMPanics(t *testing.T) {
+	s, _ := newSpace(13)
+	var nmSector uint32
+	for l := uint32(0); l < s.Sectors(); l++ {
+		if s.Lookup(l).NM {
+			nmSector = l
+			break
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("swap of NM-resident sector did not panic")
+		}
+	}()
+	s.Swap(0, nmSector, 0, 0)
+}
+
+func TestRandomSwapsKeepBijection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := newSpace(uint64(seed) + 1)
+		for i := 0; i < 200; i++ {
+			l := uint32(rng.Intn(int(s.Sectors())))
+			if s.Lookup(l).NM {
+				continue
+			}
+			slot := uint32(rng.Intn(int(s.NMSectors)))
+			s.Swap(memtypes.Tick(i*100), l, slot, 0)
+		}
+		return s.CheckInvariants()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessDataServedCounters(t *testing.T) {
+	s, stats := newSpace(15)
+	var nmL, fmL uint32
+	foundNM, foundFM := false, false
+	for l := uint32(0); l < s.Sectors(); l++ {
+		if s.Lookup(l).NM && !foundNM {
+			nmL, foundNM = l, true
+		}
+		if !s.Lookup(l).NM && !foundFM {
+			fmL, foundFM = l, true
+		}
+	}
+	s.AccessData(0, nmL, 0, false)
+	s.AccessData(0, fmL, 0, true)
+	if stats.ServedNM != 1 || stats.ServedFM != 1 {
+		t.Fatalf("served NM/FM = %d/%d, want 1/1", stats.ServedNM, stats.ServedFM)
+	}
+	if stats.NMReadBytes != 64 || stats.FMWriteBytes != 64 {
+		t.Fatalf("traffic NMr=%d FMw=%d, want 64/64", stats.NMReadBytes, stats.FMWriteBytes)
+	}
+}
+
+func TestRemapCacheHitMissBehaviour(t *testing.T) {
+	rc := NewRemapCache(64, 16)
+	if rc.Lookup(5) {
+		t.Fatal("cold lookup hit")
+	}
+	if !rc.Lookup(5) {
+		t.Fatal("second lookup missed")
+	}
+	// Fill set 1 beyond capacity: 4 sets, entries mapping to set 1 are
+	// logical = 1 mod 4; 17 of them overflow the 16 ways.
+	for i := 0; i < 17; i++ {
+		rc.Lookup(uint32(1 + 4*i))
+	}
+	if rc.Lookup(1) { // LRU entry 1 must have been evicted
+		t.Fatal("LRU entry survived overflow")
+	}
+}
+
+func TestRemapCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRemapCache(48, 16) // 3 sets: not a power of two
+}

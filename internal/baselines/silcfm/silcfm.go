@@ -1,0 +1,266 @@
+// Package silcfm implements SILC-FM (Ryoo, Meswani, Prodromou, John,
+// HPCA'17), the §2.2 design offering "a more flexible group approach":
+// NM is organized in set-associative swap groups — an FM segment can
+// occupy any way of its NM set rather than one fixed slot — and data
+// moves at sub-block (64 B) granularity, interleaving sub-blocks of the
+// resident segment with demand-fetched sub-blocks of FM segments.
+//
+// Model: NM sectors form A-way sets. FM segments showing reuse (episode
+// counting, as for the other counter-based schemes) claim the LRU way of
+// their set; claimed ways fill on demand at 64 B granularity with per-way
+// valid/dirty masks. Displaced ways write their dirty sub-blocks back to
+// the evicted segment's FM home. A set-associative remap cache fronts the
+// in-NM location table.
+package silcfm
+
+import (
+	"math/bits"
+
+	"hybridmem/internal/config"
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+// Config parameterizes SILC-FM.
+type Config struct {
+	SectorBytes       int
+	Assoc             int // ways per NM swap-group set
+	NMBytes, FMBytes  uint64
+	ClaimEpisodes     int // reuse episodes before a segment claims a way
+	RemapCacheEntries int
+	Seed              uint64
+}
+
+// Default returns the standard SILC-FM configuration.
+func Default(nmBytes, fmBytes uint64, remapEntries int, seed uint64) Config {
+	return Config{
+		SectorBytes:       config.SectorBytes,
+		Assoc:             4,
+		NMBytes:           nmBytes,
+		FMBytes:           fmBytes,
+		ClaimEpisodes:     4,
+		RemapCacheEntries: remapEntries,
+		Seed:              seed,
+	}
+}
+
+type way struct {
+	owner    uint32 // FM segment +1; 0 = unclaimed
+	validVec uint32
+	dirtyVec uint32
+	lru      uint64
+}
+
+// SILCFM implements memtypes.MemorySystem.
+type SILCFM struct {
+	cfg   Config
+	nm    *memsys.Device
+	fm    *memsys.Device
+	stats memtypes.MemStats
+
+	sets  uint32
+	ways  []way
+	clock uint64
+
+	episodes map[uint32]uint8 // FM segment -> reuse episodes (bounded)
+	lastSeg  uint32
+
+	rcTags []uint64
+	rcLRU  []uint64
+	rcSets int
+}
+
+// New builds SILC-FM over the two devices.
+func New(cfg Config, nm, fm *memsys.Device) *SILCFM {
+	nmSectors := uint32(cfg.NMBytes / uint64(cfg.SectorBytes))
+	sets := nmSectors / uint32(cfg.Assoc)
+	if sets == 0 {
+		panic("silcfm: no NM sets")
+	}
+	s := &SILCFM{
+		cfg:      cfg,
+		nm:       nm,
+		fm:       fm,
+		sets:     sets,
+		ways:     make([]way, nmSectors),
+		episodes: make(map[uint32]uint8, 4096),
+		lastSeg:  ^uint32(0),
+		rcTags:   make([]uint64, cfg.RemapCacheEntries),
+		rcLRU:    make([]uint64, cfg.RemapCacheEntries),
+		rcSets:   cfg.RemapCacheEntries / 16,
+	}
+	if s.rcSets <= 0 || s.rcSets&(s.rcSets-1) != 0 {
+		panic("silcfm: remap cache sets must be a positive power of two")
+	}
+	return s
+}
+
+// Name implements MemorySystem.
+func (s *SILCFM) Name() string { return "SILC-FM" }
+
+// Stats implements MemorySystem.
+func (s *SILCFM) Stats() *memtypes.MemStats { return &s.stats }
+
+func (s *SILCFM) rcLookup(key uint32) bool {
+	s.clock++
+	set := int(key) % s.rcSets
+	base := set * 16
+	victim := base
+	k := uint64(key) + 1
+	for i := base; i < base+16; i++ {
+		if s.rcTags[i] == k {
+			s.rcLRU[i] = s.clock
+			return true
+		}
+		if s.rcTags[victim] == 0 {
+			continue
+		}
+		if s.rcTags[i] == 0 || s.rcLRU[i] < s.rcLRU[victim] {
+			victim = i
+		}
+	}
+	s.rcTags[victim] = k
+	s.rcLRU[victim] = s.clock
+	return false
+}
+
+func (s *SILCFM) nmAddr(wayIdx uint32, off memtypes.Addr) memtypes.Addr {
+	return memtypes.Addr(wayIdx)*memtypes.Addr(s.cfg.SectorBytes) + off
+}
+
+// findWay returns the index of the way owned by seg in its set, or the
+// LRU way index with found=false.
+func (s *SILCFM) findWay(seg uint32) (idx uint32, found bool) {
+	set := seg % s.sets
+	base := set * uint32(s.cfg.Assoc)
+	lru := base
+	for i := base; i < base+uint32(s.cfg.Assoc); i++ {
+		if s.ways[i].owner == seg+1 {
+			return i, true
+		}
+		if s.ways[i].lru < s.ways[lru].lru {
+			lru = i
+		}
+	}
+	return lru, false
+}
+
+// Access implements MemorySystem.
+func (s *SILCFM) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	s.stats.Requests++
+	seg := uint32(uint64(addr) / uint64(s.cfg.SectorBytes))
+	fmSectors := uint32(s.cfg.FMBytes / uint64(s.cfg.SectorBytes))
+	if seg >= fmSectors {
+		seg %= fmSectors
+	}
+	offset := memtypes.Addr(uint64(addr) % uint64(s.cfg.SectorBytes))
+	sub := uint(offset / 64)
+	fmHome := memtypes.Addr(seg)*memtypes.Addr(s.cfg.SectorBytes) + offset
+
+	if !s.rcLookup(seg % s.sets) {
+		// Location-table read from NM on the critical path.
+		now = s.nm.Access(now, memtypes.Addr(s.cfg.NMBytes)-memtypes.Addr(1+seg%4096)*64, 64, false)
+		s.stats.NMReadBytes += 64
+		s.stats.MetaNMBytes += 64
+	}
+
+	repeat := seg == s.lastSeg
+	s.lastSeg = seg
+
+	idx, found := s.findWay(seg)
+	w := &s.ways[idx]
+	if found {
+		s.clock++
+		w.lru = s.clock
+		if w.validVec&(1<<sub) != 0 {
+			s.stats.ServedNM++
+			done := s.nm.Access(now, s.nmAddr(idx, offset), 64, write)
+			if write {
+				w.dirtyVec |= 1 << sub
+				s.stats.NMWriteBytes += 64
+			} else {
+				s.stats.NMReadBytes += 64
+			}
+			return done
+		}
+		// Sub-block interleaving: demand-fetch this 64 B into the way.
+		s.stats.ServedFM++
+		done := s.fm.Access(now, fmHome, 64, false)
+		s.nm.AccessBG(done, s.nmAddr(idx, offset), 64, true)
+		s.stats.FMReadBytes += 64
+		s.stats.NMWriteBytes += 64
+		w.validVec |= 1 << sub
+		if write {
+			w.dirtyVec |= 1 << sub
+		}
+		return done
+	}
+
+	// Not resident: serve from FM and track reuse; claiming a way takes
+	// ClaimEpisodes distinct revisits.
+	s.stats.ServedFM++
+	done := s.fm.Access(now, fmHome, 64, write)
+	if write {
+		s.stats.FMWriteBytes += 64
+	} else {
+		s.stats.FMReadBytes += 64
+	}
+	if !repeat {
+		if len(s.episodes) >= 8192 {
+			for k := range s.episodes {
+				delete(s.episodes, k)
+			}
+		}
+		s.episodes[seg]++
+		if int(s.episodes[seg]) >= s.cfg.ClaimEpisodes {
+			delete(s.episodes, seg)
+			s.claim(now, idx, seg, sub, write)
+		}
+	}
+	return done
+}
+
+// claim evicts the LRU way (writing dirty sub-blocks back to the old
+// owner's FM home) and assigns it to seg with the demanded sub-block.
+func (s *SILCFM) claim(now memtypes.Tick, idx, seg uint32, sub uint, write bool) {
+	w := &s.ways[idx]
+	if w.owner != 0 && w.dirtyVec != 0 {
+		n := bits.OnesCount32(w.dirtyVec)
+		rd := s.nm.AccessBG(now, s.nmAddr(idx, 0), n*64, false)
+		s.fm.AccessBG(rd, memtypes.Addr(w.owner-1)*memtypes.Addr(s.cfg.SectorBytes), n*64, true)
+		s.stats.NMReadBytes += uint64(n * 64)
+		s.stats.FMWriteBytes += uint64(n * 64)
+		s.stats.Evictions++
+	}
+	// The demanded sub-block was just read from FM; stage it in the way.
+	s.nm.AccessBG(now, s.nmAddr(idx, memtypes.Addr(sub)*64), 64, true)
+	s.stats.NMWriteBytes += 64
+	s.stats.Migrations++
+	s.clock++
+	*w = way{owner: seg + 1, validVec: 1 << sub, lru: s.clock}
+	if write {
+		w.dirtyVec = 1 << sub
+	}
+}
+
+// Finish implements MemorySystem (no deferred work).
+func (s *SILCFM) Finish(memtypes.Tick) {}
+
+// CheckInvariants verifies no segment owns two ways of a set.
+func (s *SILCFM) CheckInvariants() bool {
+	for set := uint32(0); set < s.sets; set++ {
+		base := set * uint32(s.cfg.Assoc)
+		seen := make(map[uint32]bool, s.cfg.Assoc)
+		for i := base; i < base+uint32(s.cfg.Assoc); i++ {
+			o := s.ways[i].owner
+			if o == 0 {
+				continue
+			}
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+	}
+	return true
+}

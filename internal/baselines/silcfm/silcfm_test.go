@@ -1,0 +1,122 @@
+package silcfm
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+)
+
+func newSmall(seed uint64) *SILCFM {
+	return New(Default(1<<20, 8<<20, 512, seed),
+		memsys.New(memsys.HBM2Config()), memsys.New(memsys.DDR4Config()))
+}
+
+func TestReusedSegmentClaimsWay(t *testing.T) {
+	s := newSmall(1)
+	addr := memtypes.Addr(10 * 2048)
+	var now memtypes.Tick
+	// Revisit the segment (with other segments in between) until it
+	// claims a way, then the sub-block must be NM-resident.
+	for i := 0; i < s.cfg.ClaimEpisodes+1; i++ {
+		now += 500
+		s.Access(now, addr, false)
+		now += 500
+		s.Access(now, memtypes.Addr(5000+i)*2048, false)
+	}
+	now += 500
+	s.Access(now, addr, false)
+	if s.Stats().ServedNM == 0 {
+		t.Fatal("reused segment never served from NM")
+	}
+	if s.Stats().Migrations == 0 {
+		t.Fatal("no way claimed")
+	}
+}
+
+func TestOnePassStreamNeverClaims(t *testing.T) {
+	s := newSmall(2)
+	var now memtypes.Tick
+	for a := memtypes.Addr(0); a < 1<<20; a += 64 {
+		now += 50
+		s.Access(now, a, false)
+	}
+	if s.Stats().Migrations != 0 {
+		t.Fatalf("streaming claimed %d ways", s.Stats().Migrations)
+	}
+}
+
+func TestSubBlockInterleaving(t *testing.T) {
+	s := newSmall(3)
+	base := memtypes.Addr(10 * 2048)
+	var now memtypes.Tick
+	for i := 0; i < s.cfg.ClaimEpisodes+1; i++ {
+		now += 500
+		s.Access(now, base, false)
+		now += 500
+		s.Access(now, memtypes.Addr(5000+i)*2048, false)
+	}
+	// The claimed way holds only the demanded sub-block: another offset
+	// demand-fetches 64 B into the same way (interleaving), then hits.
+	fmBefore := s.Stats().FMReadBytes
+	now += 500
+	s.Access(now, base+512, false)
+	if got := s.Stats().FMReadBytes - fmBefore; got != 64 {
+		t.Fatalf("sub-block fill read %d bytes, want 64", got)
+	}
+	now += 500
+	s.Access(now, base+512, false)
+	servedBefore := s.Stats().ServedNM
+	now += 500
+	s.Access(now, base+512, false)
+	if s.Stats().ServedNM != servedBefore+1 {
+		t.Fatal("interleaved sub-block did not hit")
+	}
+}
+
+func TestDirtyWritebackOnWayEviction(t *testing.T) {
+	s := newSmall(4)
+	// Claim a way with writes, then displace it with other claimants of
+	// the same set (stride = sets*2048 keeps the set fixed).
+	stride := memtypes.Addr(s.sets) * 2048
+	claim := func(a memtypes.Addr, write bool) {
+		var now memtypes.Tick
+		for i := 0; i < s.cfg.ClaimEpisodes+1; i++ {
+			now += 300
+			s.Access(now, a, write)
+			now += 300
+			s.Access(now, a+memtypes.Addr(9999*2048), false)
+		}
+	}
+	claim(0, true)
+	for i := 1; i <= s.cfg.Assoc+1; i++ {
+		claim(memtypes.Addr(i)*stride, false)
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no way evictions despite set pressure")
+	}
+	if s.Stats().FMWriteBytes == 0 {
+		t.Fatal("dirty sub-blocks never written back")
+	}
+	if !s.CheckInvariants() {
+		t.Fatal("duplicate owners in a set")
+	}
+}
+
+func TestInvariantsUnderTraffic(t *testing.T) {
+	s := newSmall(5)
+	rng := rand.New(rand.NewSource(11))
+	var now memtypes.Tick
+	for i := 0; i < 40000; i++ {
+		now += 50
+		s.Access(now, memtypes.Addr(rng.Intn(8<<20))&^63, rng.Intn(4) == 0)
+	}
+	if !s.CheckInvariants() {
+		t.Fatal("invariants violated")
+	}
+	st := s.Stats()
+	if st.ServedNM+st.ServedFM != st.Requests {
+		t.Fatalf("served %d+%d != requests %d", st.ServedNM, st.ServedFM, st.Requests)
+	}
+}

@@ -1,0 +1,129 @@
+// Package cachesim provides the set-associative write-back SRAM cache used
+// as the shared last-level cache in front of the hybrid memory system
+// (Table 1: 8 MB, 16-way, 14-cycle access, non-inclusive non-exclusive).
+package cachesim
+
+import "hybridmem/internal/memtypes"
+
+// Victim describes a line evicted by an allocation.
+type Victim struct {
+	Addr  memtypes.Addr // base address of the evicted line
+	Dirty bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a single-level set-associative cache with true-LRU replacement
+// and write-allocate/write-back policy. It is a functional model: timing
+// is the caller's concern (the driver adds the fixed access latency).
+type Cache struct {
+	lines     []line
+	assoc     int
+	sets      int
+	lineBytes int
+	setShift  uint
+	clock     uint64
+
+	Accesses uint64
+	Misses   uint64
+	Evicts   uint64
+}
+
+// New builds a cache of sizeBytes capacity. sizeBytes must be a multiple
+// of assoc*lineBytes and the resulting set count must be a power of two.
+func New(sizeBytes, assoc, lineBytes int) *Cache {
+	if sizeBytes <= 0 || assoc <= 0 || lineBytes <= 0 {
+		panic("cachesim: non-positive geometry")
+	}
+	sets := sizeBytes / (assoc * lineBytes)
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("cachesim: set count must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	if 1<<shift != lineBytes {
+		panic("cachesim: line size must be a power of two")
+	}
+	return &Cache{
+		lines:     make([]line, sets*assoc),
+		assoc:     assoc,
+		sets:      sets,
+		lineBytes: lineBytes,
+		setShift:  shift,
+	}
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Access looks up addr, allocating on a miss. It returns whether the
+// access hit and, on a miss that displaced a valid line, the victim.
+func (c *Cache) Access(addr memtypes.Addr, write bool) (hit bool, victim Victim, evicted bool) {
+	c.Accesses++
+	c.clock++
+	blk := uint64(addr) >> c.setShift
+	set := int(blk % uint64(c.sets))
+	tag := blk / uint64(c.sets)
+	ways := c.lines[set*c.assoc : (set+1)*c.assoc]
+
+	lruIdx := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.clock
+			if write {
+				w.dirty = true
+			}
+			return true, Victim{}, false
+		}
+		if !ways[lruIdx].valid {
+			continue // keep first invalid way as the allocation target
+		}
+		if !w.valid || w.lru < ways[lruIdx].lru {
+			lruIdx = i
+		}
+	}
+
+	c.Misses++
+	w := &ways[lruIdx]
+	if w.valid {
+		c.Evicts++
+		victimBlk := (w.tag*uint64(c.sets) + uint64(set)) << c.setShift
+		victim = Victim{Addr: memtypes.Addr(victimBlk), Dirty: w.dirty}
+		evicted = true
+	}
+	w.valid = true
+	w.tag = tag
+	w.dirty = write
+	w.lru = c.clock
+	return false, victim, evicted
+}
+
+// Contains reports whether addr is currently resident (no LRU update).
+func (c *Cache) Contains(addr memtypes.Addr) bool {
+	blk := uint64(addr) >> c.setShift
+	set := int(blk % uint64(c.sets))
+	tag := blk / uint64(c.sets)
+	ways := c.lines[set*c.assoc : (set+1)*c.assoc]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/accesses, 0 when unused.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

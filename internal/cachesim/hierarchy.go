@@ -1,0 +1,61 @@
+package cachesim
+
+import "hybridmem/internal/memtypes"
+
+// Level pairs a cache with its access latency, for Hierarchy.
+type Level struct {
+	Cache   *Cache
+	Latency memtypes.Tick
+}
+
+// Hierarchy composes private cache levels (e.g. the L1 and L2 of Table 1)
+// in front of a shared LLC. Levels are non-inclusive, write-back,
+// write-allocate: a miss at level i allocates the line at every probed
+// level, and a dirty victim of level i is installed dirty into level i+1;
+// dirty victims of the last level are returned so the caller can forward
+// them to the next stage of the memory system.
+type Hierarchy struct {
+	levels []Level
+}
+
+// NewHierarchy builds a hierarchy; pass the innermost level (L1) first.
+func NewHierarchy(levels ...Level) *Hierarchy {
+	if len(levels) == 0 {
+		panic("cachesim: hierarchy needs at least one level")
+	}
+	return &Hierarchy{levels: levels}
+}
+
+// Access looks addr up level by level. It returns the hit level (0 = L1;
+// Levels() means a miss everywhere), the accumulated lookup latency, and
+// the dirty lines evicted out of the last level.
+func (h *Hierarchy) Access(addr memtypes.Addr, write bool) (hitLevel int, latency memtypes.Tick, writebacks []memtypes.Addr) {
+	hitLevel = len(h.levels)
+	for i, lv := range h.levels {
+		latency += lv.Latency
+		hit, victim, evicted := lv.Cache.Access(addr, write && i == 0)
+		if evicted && victim.Dirty {
+			if i+1 < len(h.levels) {
+				// The victim moves down one level, still dirty. Its own
+				// victim there is clean-dropped (non-inclusive model).
+				_, v2, ev2 := h.levels[i+1].Cache.Access(victim.Addr, true)
+				if ev2 && v2.Dirty && i+2 >= len(h.levels) {
+					writebacks = append(writebacks, v2.Addr)
+				}
+			} else {
+				writebacks = append(writebacks, victim.Addr)
+			}
+		}
+		if hit {
+			hitLevel = i
+			break
+		}
+	}
+	return hitLevel, latency, writebacks
+}
+
+// Levels returns the number of levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// MissedAll reports whether a hit level means the request goes to memory.
+func (h *Hierarchy) MissedAll(hitLevel int) bool { return hitLevel >= len(h.levels) }

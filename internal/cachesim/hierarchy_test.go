@@ -1,0 +1,89 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hybridmem/internal/memtypes"
+)
+
+// table1Hierarchy builds the paper's private levels: 64 KB 4-way L1
+// (1 cycle) and 256 KB 8-way L2 (9 cycles).
+func table1Hierarchy() *Hierarchy {
+	return NewHierarchy(
+		Level{Cache: New(64<<10, 4, 64), Latency: 1},
+		Level{Cache: New(256<<10, 8, 64), Latency: 9},
+	)
+}
+
+func TestHierarchyHitLevels(t *testing.T) {
+	h := table1Hierarchy()
+	lvl, lat, _ := h.Access(0x1000, false)
+	if !h.MissedAll(lvl) {
+		t.Fatalf("cold access hit level %d", lvl)
+	}
+	if lat != 1+9 {
+		t.Fatalf("full lookup latency %d, want 10", lat)
+	}
+	lvl, lat, _ = h.Access(0x1000, false)
+	if lvl != 0 || lat != 1 {
+		t.Fatalf("second access: level %d latency %d, want L1 at 1 cycle", lvl, lat)
+	}
+}
+
+func TestHierarchyL2CatchesL1Victims(t *testing.T) {
+	h := table1Hierarchy()
+	// Fill one L1 set (4 ways, set stride 16 KB for 64 KB 4-way) with
+	// dirty lines; the 5th forces a dirty L1 victim into L2, where a
+	// subsequent access must hit at level 1.
+	const stride = 64 << 10 / 4
+	for i := 0; i < 5; i++ {
+		h.Access(memtypes.Addr(i*stride), true)
+	}
+	lvl, _, _ := h.Access(0, false) // evicted from L1, installed in L2
+	if lvl != 1 {
+		t.Fatalf("L1 victim found at level %d, want L2 (1)", lvl)
+	}
+}
+
+func TestHierarchyWritebacksOnlyFromLastLevel(t *testing.T) {
+	h := NewHierarchy(
+		Level{Cache: New(1<<10, 2, 64), Latency: 1}, // tiny L1
+		Level{Cache: New(2<<10, 2, 64), Latency: 9}, // tiny L2
+	)
+	rng := rand.New(rand.NewSource(1))
+	sawWriteback := false
+	for i := 0; i < 5000; i++ {
+		_, _, wbs := h.Access(memtypes.Addr(rng.Intn(1<<16))&^63, rng.Intn(2) == 0)
+		if len(wbs) > 0 {
+			sawWriteback = true
+		}
+	}
+	if !sawWriteback {
+		t.Fatal("no memory-level writebacks under dirty churn")
+	}
+}
+
+func TestHierarchyNeedsLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty hierarchy accepted")
+		}
+	}()
+	NewHierarchy()
+}
+
+func TestHierarchyFiltersTraffic(t *testing.T) {
+	// A working set fitting L1 must stop producing L2 accesses after the
+	// first pass.
+	h := table1Hierarchy()
+	for pass := 0; pass < 3; pass++ {
+		for a := memtypes.Addr(0); a < 16<<10; a += 64 {
+			h.Access(a, false)
+		}
+	}
+	l2 := h.levels[1].Cache
+	if l2.Accesses != 16<<10/64 {
+		t.Fatalf("L2 saw %d accesses, want one compulsory pass (%d)", l2.Accesses, 16<<10/64)
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"testing"
+
+	"hybridmem/internal/workload"
+)
+
+// TestGoldenDeterminism pins that identical configurations reproduce
+// byte-identical results across runner instances — the reproducibility
+// guarantee the README makes. (Unlike a classic golden test, it does not
+// pin absolute numbers, which legitimately change when the model is
+// improved; determinism must never change.)
+func TestGoldenDeterminism(t *testing.T) {
+	run := func() map[string]uint64 {
+		r := NewRunner()
+		r.InstrPerCore = 80_000
+		out := make(map[string]uint64)
+		for _, name := range []string{"lbm", "mcf", "namd"} {
+			wl, _ := workload.ByName(name)
+			for _, d := range []string{"Baseline", "HYBRID2", "MPOD", "TAGLESS"} {
+				res := r.Result(wl, d, 1)
+				out[name+"/"+d] = uint64(res.Cycles)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("%s: %d != %d across identical runs", k, v, b[k])
+		}
+	}
+}
+
+// TestGoldenOrderings pins the paper's qualitative results that must
+// survive any future model change. If one of these fails after an edit,
+// the edit broke the reproduction, not just a number.
+func TestGoldenOrderings(t *testing.T) {
+	r := NewRunner()
+	r.InstrPerCore = 250_000
+	specs := workload.Specs()
+	// Representative subset: one streaming high-MPKI, one pointer-heavy
+	// medium, one low.
+	var sub []workload.Spec
+	for _, s := range specs {
+		switch s.Name {
+		case "lbm", "omnetpp", "xz", "namd":
+			sub = append(sub, s)
+		}
+	}
+	r.Subset = sub
+
+	geo := func(d string) float64 {
+		var g float64 = 1
+		sp := r.AllSpeedups(d, 1)
+		for _, x := range sp {
+			g *= x
+		}
+		// 4th root of product
+		return g
+	}
+	h2 := geo("HYBRID2")
+	for _, d := range []string{"MPOD", "LGM"} {
+		if geo(d) >= h2 {
+			t.Errorf("HYBRID2 (%.3f^4) not above migration scheme %s (%.3f^4)", h2, d, geo(d))
+		}
+	}
+
+	// Tagless must collapse on omnetpp (poor spatial locality) while
+	// HYBRID2 stays near baseline.
+	omn, _ := workload.ByName("omnetpp")
+	if s := r.Speedup(omn, "TAGLESS", 1); s > 0.9 {
+		t.Errorf("TAGLESS on omnetpp = %.2f, expected collapse below 0.9", s)
+	}
+	if s := r.Speedup(omn, "HYBRID2", 1); s < 0.8 {
+		t.Errorf("HYBRID2 on omnetpp = %.2f, degraded too far", s)
+	}
+
+	// Low-MPKI workloads must be insensitive for every design.
+	namd, _ := workload.ByName("namd")
+	for _, d := range MainDesigns {
+		if s := r.Speedup(namd, d, 1); s < 0.9 || s > 1.2 {
+			t.Errorf("%s on namd = %.2f, expected ~1.0", d, s)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package exp defines the paper's experiments: one function per table and
+// figure of the evaluation (Figures 1-2, Table 1-2, Figures 11-18), shared
+// by cmd/experiments and the benchmark harness. A Runner memoizes
+// (workload, design, NM-ratio) runs so figures built from the same sweep
+// (12, 13, 15-18) reuse results.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hybridmem/internal/baselines/banshee"
+	"hybridmem/internal/baselines/cameo"
+	"hybridmem/internal/baselines/chameleon"
+	"hybridmem/internal/baselines/dramcache"
+	"hybridmem/internal/baselines/flat"
+	"hybridmem/internal/baselines/footprint"
+	"hybridmem/internal/baselines/lgm"
+	"hybridmem/internal/baselines/mempod"
+	"hybridmem/internal/baselines/silcfm"
+	"hybridmem/internal/config"
+	"hybridmem/internal/core"
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/trace"
+	"hybridmem/internal/workload"
+)
+
+// MainDesigns are the six designs of Figures 12-18, in the paper's order.
+var MainDesigns = []string{"MPOD", "CHA", "LGM", "TAGLESS", "DFC", "HYBRID2"}
+
+// ExtraDesigns are related-work designs from the paper's §2 that are not
+// part of its evaluation figures but are implemented for completeness:
+// CAMEO (line-granularity group migration), ALLOY (direct-mapped TAD
+// cache) and FOOTPRINT (predicted-footprint page cache).
+var ExtraDesigns = []string{"CAMEO", "POM", "SILC-FM", "ALLOY", "FOOTPRINT", "BANSHEE"}
+
+// Runner executes and memoizes simulation runs.
+type Runner struct {
+	Scale        int
+	InstrPerCore uint64
+	Seed         uint64
+	// Prefetch enables the LLC next-line prefetcher for all runs.
+	Prefetch bool
+	// Workload subset; nil means all 30.
+	Subset []workload.Spec
+
+	cache map[string]sim.Result
+}
+
+// NewRunner returns a runner at the default scale and instruction budget.
+func NewRunner() *Runner {
+	return &Runner{Scale: config.DefaultScale, InstrPerCore: 1_000_000, Seed: 1}
+}
+
+// NewQuickRunner returns a reduced-cost runner (shorter streams, one
+// third of the workloads) for smoke runs and benchmarks.
+func NewQuickRunner() *Runner {
+	r := NewRunner()
+	r.InstrPerCore = 250_000
+	all := workload.Specs()
+	for i := 0; i < len(all); i += 3 {
+		r.Subset = append(r.Subset, all[i])
+	}
+	return r
+}
+
+// Workloads returns the workloads this runner sweeps.
+func (r *Runner) Workloads() []workload.Spec {
+	if r.Subset != nil {
+		return r.Subset
+	}
+	return workload.Specs()
+}
+
+// system resolves the scaled system for an NM:FM ratio of ratio16:16.
+func (r *Runner) system(ratio16 int) config.System {
+	sys := config.Scaled(r.Scale, ratio16)
+	sys.InstrPerCore = r.InstrPerCore
+	sys.Seed = r.Seed
+	sys.NextLinePrefetch = r.Prefetch
+	return sys
+}
+
+// build constructs a design by name over fresh devices. Recognized names:
+//
+//	Baseline                 no NM
+//	MPOD | CHA | LGM         migration schemes of the paper's evaluation
+//	CAMEO | POM | SILC-FM    related-work migration schemes (§2.2)
+//	BANSHEE                  frequency-gated page cache (§2.1)
+//	TAGLESS                  tagless DRAM cache (4 KB pages)
+//	ALLOY                    direct-mapped TAD cache (64 B lines)
+//	FOOTPRINT                footprint cache (2 KB pages, predicted fills)
+//	DFC | DFC-<line>         decoupled fused cache (default 1 KB lines)
+//	IDEAL-<line>             ideal cache at a line size
+//	HYBRID2                  the full design
+//	H2-CacheOnly | H2-MigrAll | H2-MigrNone | H2-NoRemap   ablations
+//	H2DSE-<cacheMB>-<sectorKB>-<line>                      Fig. 11 points
+func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *memsys.Device, *memsys.Device) {
+	fm := memsys.New(memsys.DDR4Config())
+	if name == "Baseline" {
+		return flat.NewFMOnly(fm), nil, fm
+	}
+	nm := memsys.New(memsys.HBM2Config())
+	remapEntries := int(sys.Hybrid2CacheBytes() / config.SectorBytes)
+
+	switch {
+	case name == "MPOD":
+		cfg := mempod.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed)
+		cfg.IntervalCycles = memtypes.Tick(sys.IntervalCycles())
+		// The cap matches the paper's per-run NM turnover: shortened runs
+		// get proportionally more migrations per (scaled) interval.
+		cfg.MaxMigrations = 16
+		cfg.MinCount = 3
+		return mempod.New(cfg, nm, fm), nm, fm
+	case name == "CHA":
+		return chameleon.New(chameleon.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), remapEntries, sys.Seed), nm, fm), nm, fm
+	case name == "LGM":
+		cfg := lgm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed)
+		cfg.IntervalCycles = memtypes.Tick(sys.IntervalCycles())
+		cfg.Watermark = 32
+		return lgm.New(cfg, nm, fm), nm, fm
+	case name == "CAMEO":
+		return cameo.New(cameo.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm
+	case name == "POM":
+		return chameleon.New(chameleon.PoM(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm
+	case name == "SILC-FM":
+		return silcfm.New(silcfm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm
+	case name == "BANSHEE":
+		return banshee.New(banshee.Default(sys.NMBytes), nm, fm), nm, fm
+	case name == "TAGLESS":
+		return dramcache.New(dramcache.Tagless(sys.NMBytes), nm, fm), nm, fm
+	case name == "ALLOY":
+		return dramcache.New(dramcache.Alloy(sys.NMBytes), nm, fm), nm, fm
+	case name == "FOOTPRINT":
+		return footprint.New(footprint.Default(sys.NMBytes), nm, fm), nm, fm
+	case name == "DFC":
+		return dramcache.New(dramcache.DFC(sys.NMBytes, 1024), nm, fm), nm, fm
+	case strings.HasPrefix(name, "DFC-"):
+		line := mustInt(name[len("DFC-"):])
+		return dramcache.New(dramcache.DFC(sys.NMBytes, line), nm, fm), nm, fm
+	case strings.HasPrefix(name, "IDEAL-"):
+		line := mustInt(name[len("IDEAL-"):])
+		return dramcache.New(dramcache.Ideal(sys.NMBytes, line), nm, fm), nm, fm
+	case name == "HYBRID2":
+		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
+		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
+		return core.New(cfg, nm, fm), nm, fm
+	case strings.HasPrefix(name, "H2-"):
+		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
+		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
+		switch name[len("H2-"):] {
+		case "CacheOnly":
+			cfg.Mode = core.CacheOnly
+		case "MigrAll":
+			cfg.Mode = core.MigrateAll
+		case "MigrNone":
+			cfg.Mode = core.MigrateNone
+		case "NoRemap":
+			cfg.Mode = core.NoRemapOverhead
+		default:
+			panic("exp: unknown Hybrid2 mode " + name)
+		}
+		return core.New(cfg, nm, fm), nm, fm
+	case strings.HasPrefix(name, "H2ABL-"):
+		parts := strings.SplitN(name[len("H2ABL-"):], "-", 2)
+		if len(parts) != 2 {
+			panic("exp: bad ablation design " + name)
+		}
+		knob, val := parts[0], mustInt(parts[1])
+		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
+		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
+		switch knob {
+		case "ctr": // access-counter width in bits (§3.7.1, paper: 9)
+			cfg.CounterBits = val
+		case "reset": // FM budget reset period in paper cycles (§3.7.3)
+			cfg.FMBudgetReset = memtypes.Tick(val / sys.Scale)
+		case "stack": // on-chip Free-FM-Stack entries (§3.3, paper: 16)
+			cfg.FreeStackOnChip = val
+		case "assoc": // XTA associativity (paper: 16)
+			cfg.Assoc = val
+		case "free": // §3.8 extension with val/1000 of memory hinted free
+			cfg.FreeSpaceAware = true
+			h := core.New(cfg, nm, fm)
+			total := uint64(h.Sectors()) * uint64(cfg.SectorBytes)
+			freeBytes := total * uint64(val) / 1000
+			h.MarkFree(memtypes.Addr(total-freeBytes), freeBytes)
+			return h, nm, fm
+		default:
+			panic("exp: unknown ablation knob " + knob)
+		}
+		return core.New(cfg, nm, fm), nm, fm
+	case strings.HasPrefix(name, "H2DSE-"):
+		parts := strings.Split(name[len("H2DSE-"):], "-")
+		if len(parts) != 3 {
+			panic("exp: bad DSE design " + name)
+		}
+		cacheMB, sectorKB, line := mustInt(parts[0]), mustInt(parts[1]), mustInt(parts[2])
+		cfg := core.Default(sys.NMBytes, sys.FMBytes, uint64(cacheMB)<<20/uint64(sys.Scale), sys.Seed)
+		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
+		cfg.SectorBytes = sectorKB << 10
+		cfg.LineBytes = line
+		return core.New(cfg, nm, fm), nm, fm
+	}
+	panic("exp: unknown design " + name)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mustInt(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		panic("exp: bad integer in design name: " + s)
+	}
+	return v
+}
+
+// Result runs (or recalls) one workload on one design at an NM ratio.
+func (r *Runner) Result(wl workload.Spec, design string, ratio16 int) sim.Result {
+	if design == "Baseline" {
+		ratio16 = 1 // the baseline has no NM; one run serves all ratios
+	}
+	key := fmt.Sprintf("%s|%s|%d|%d|%v", wl.Name, design, ratio16, r.Seed, r.Prefetch)
+	if r.cache == nil {
+		r.cache = make(map[string]sim.Result)
+	}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	sys := r.system(ratio16)
+	ms, nm, fm := r.build(design, sys)
+	res := sim.Run(wl, ms, nm, fm, sys)
+	r.cache[key] = res
+	return res
+}
+
+// RunTrace replays a captured trace (see internal/trace) on a design at
+// an NM ratio. mlp bounds per-core overlapped misses. Trace runs are not
+// memoized.
+func (r *Runner) RunTrace(name string, rd io.Reader, design string, ratio16, mlp int) (sim.Result, error) {
+	tr, err := trace.Read(rd, config.Cores)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	srcs := make([]sim.Source, config.Cores)
+	for i := range srcs {
+		srcs[i] = trace.NewReplayer(tr.Cores[i])
+	}
+	sys := r.system(ratio16)
+	ms, nm, fm := r.build(design, sys)
+	return sim.RunSources(name, srcs, mlp, ms, nm, fm, sys), nil
+}
+
+// Speedup returns design cycles relative to the no-NM baseline.
+func (r *Runner) Speedup(wl workload.Spec, design string, ratio16 int) float64 {
+	base := r.Result(wl, "Baseline", 1)
+	res := r.Result(wl, design, ratio16)
+	if res.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(res.Cycles)
+}
+
+// ClassSpeedups collects per-workload speedups of one MPKI class.
+func (r *Runner) ClassSpeedups(c workload.Class, design string, ratio16 int) []float64 {
+	var out []float64
+	for _, wl := range r.Workloads() {
+		if wl.Class == c {
+			out = append(out, r.Speedup(wl, design, ratio16))
+		}
+	}
+	return out
+}
+
+// AllSpeedups collects per-workload speedups across all classes.
+func (r *Runner) AllSpeedups(design string, ratio16 int) []float64 {
+	var out []float64
+	for _, wl := range r.Workloads() {
+		out = append(out, r.Speedup(wl, design, ratio16))
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hybridmem/internal/stats"
+	"hybridmem/internal/workload"
+)
+
+// TestSmokeTiming is a development aid: it prints per-design aggregates
+// over a handful of workloads so policy behaviour can be eyeballed.
+// Run with -v to see the output.
+func TestSmokeTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke output only")
+	}
+	r := NewRunner()
+	names := []string{"cg.D", "lbm", "mcf", "omnetpp", "dc.B", "xz", "wrf", "deepsjeng"}
+	var wls []workload.Spec
+	for _, n := range names {
+		wl, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("no workload %s", n)
+		}
+		wls = append(wls, wl)
+	}
+	r.Subset = wls
+	start := time.Now()
+	for _, d := range []string{"MPOD", "CHA", "LGM", "TAGLESS", "DFC", "HYBRID2"} {
+		var sp, served, fmt16 []float64
+		for _, wl := range wls {
+			sp = append(sp, r.Speedup(wl, d, 1))
+			res := r.Result(wl, d, 1)
+			base := r.Result(wl, "Baseline", 1)
+			served = append(served, res.ServedNMFrac())
+			fmt16 = append(fmt16, stats.Ratio(float64(res.Mem.FMTraffic()), float64(base.Mem.FMTraffic())))
+		}
+		fmt.Printf("%-8s geomean=%.3f min=%.2f max=%.2f servedNM=%.2f fmTraffic=%.2f\n",
+			d, stats.Geomean(sp), stats.Min(sp), stats.Max(sp), stats.Geomean(served), stats.Geomean(fmt16))
+	}
+	fmt.Printf("per-workload HYBRID2 vs designs:\n")
+	for _, wl := range wls {
+		fmt.Printf("  %-10s", wl.Name)
+		for _, d := range []string{"MPOD", "CHA", "LGM", "TAGLESS", "DFC", "HYBRID2"} {
+			fmt.Printf(" %s=%.2f", d, r.Speedup(wl, d, 1))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("total %v\n", time.Since(start))
+}

@@ -1,0 +1,308 @@
+// Package memsys models the two DRAM devices of the hybrid memory system:
+// the 3D-stacked high-bandwidth near memory (HBM2) and the off-chip far
+// memory (DDR4-3200). The model is event-driven rather than cycle-stepped:
+// each access computes its start time from channel and bank availability,
+// applies row-buffer timing (tCAS on a row hit, tRP+tRCD+tCAS on a miss)
+// and burst occupancy, and advances the resource timestamps. This captures
+// the bandwidth, latency and row-locality asymmetry between the devices —
+// the properties the caching/migration policies under study exploit —
+// without a per-cycle loop.
+package memsys
+
+import "hybridmem/internal/memtypes"
+
+// Config describes one DRAM device. All timing is expressed in CPU cycles
+// (3.2 GHz), converted from the device parameters of Table 1.
+type Config struct {
+	Name            string
+	Channels        int     // independent channels
+	BanksPerChannel int     // banks per channel
+	RowBytes        int     // row-buffer size per bank
+	BytesPerCycle   float64 // peak data-bus bytes per CPU cycle, per channel
+	TCAS            memtypes.Tick
+	TRCD            memtypes.Tick
+	TRP             memtypes.Tick
+	InterleaveBytes int     // channel interleaving granularity
+	RWPicoJPerBit   float64 // read/write + I/O energy, pJ per bit
+	ActPreNanoJ     float64 // activate+precharge energy, nJ per activation
+
+	// Refresh modeling (optional; the paper excludes refresh energy from
+	// its dynamic-energy figures, so the defaults leave it off). When
+	// TREFI > 0, each bank is unavailable for TRFC every TREFI cycles.
+	TREFI memtypes.Tick // refresh interval (all-bank, per device)
+	TRFC  memtypes.Tick // refresh cycle time (bank blocked)
+}
+
+// WithRefresh returns a copy of the config with DDR4-class refresh
+// enabled: tREFI 7.8 µs and tRFC 350 ns at 3.2 GHz CPU cycles.
+func (c Config) WithRefresh() Config {
+	c.TREFI = 24960
+	c.TRFC = 1120
+	return c
+}
+
+// HBM2Config returns the near-memory device of Table 1: HBM2 at 2 GHz,
+// 8 channels of 128 bits, 8 banks, tCAS-tRCD-tRP 7-7-7 (2 GHz cycles),
+// 6.4 pJ/bit access energy and 15 nJ activate energy.
+func HBM2Config() Config {
+	// 7 cycles at 2 GHz = 11.2 CPU cycles at 3.2 GHz.
+	const t = memtypes.Tick(11)
+	return Config{
+		Name:            "HBM2",
+		Channels:        8,
+		BanksPerChannel: 8,
+		RowBytes:        2048,
+		// 128-bit channel at 2 Gb/s/pin: 32 GB/s = 10 B per CPU cycle.
+		BytesPerCycle:   10.0,
+		TCAS:            t,
+		TRCD:            t,
+		TRP:             t,
+		InterleaveBytes: 256,
+		RWPicoJPerBit:   6.4,
+		ActPreNanoJ:     15,
+	}
+}
+
+// DDR4Config returns the far-memory device of Table 1: DDR4-3200,
+// 2 channels of 64 bits, 8 banks, tCAS-tRCD-tRP 22-22-22 (1.6 GHz command
+// clock), 33 pJ/bit access energy and 15 nJ activate energy.
+func DDR4Config() Config {
+	// 22 cycles at 1.6 GHz = 44 CPU cycles at 3.2 GHz.
+	const t = memtypes.Tick(44)
+	return Config{
+		Name:            "DDR4-3200",
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		// 64-bit channel at 3.2 GT/s: 25.6 GB/s = 8 B per CPU cycle.
+		BytesPerCycle:   8.0,
+		TCAS:            t,
+		TRCD:            t,
+		TRP:             t,
+		InterleaveBytes: 256,
+		RWPicoJPerBit:   33,
+		ActPreNanoJ:     15,
+	}
+}
+
+type bank struct {
+	openRow     int64 // -1: closed
+	freeAt      memtypes.Tick
+	refreshedAt memtypes.Tick // start of the last refresh window applied
+}
+
+type channel struct {
+	busFreeAt memtypes.Tick // demand-traffic cursor
+	bgFreeAt  memtypes.Tick // background-traffic cursor (fills, migrations)
+	banks     []bank
+}
+
+// Device is one DRAM device instance. It is not safe for concurrent use;
+// the simulation driver serializes accesses in (approximate) time order.
+type Device struct {
+	cfg      Config
+	channels []channel
+
+	// Traffic and energy accounting.
+	ReadBytes   uint64
+	WriteBytes  uint64
+	Activations uint64
+	Reads       uint64
+	Writes      uint64
+	Refreshes   uint64
+	busyCycles  float64
+}
+
+// New creates a device with all banks closed and idle.
+func New(cfg Config) *Device {
+	d := &Device{cfg: cfg}
+	d.channels = make([]channel, cfg.Channels)
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.BanksPerChannel)
+		for b := range d.channels[i].banks {
+			d.channels[i].banks[b].openRow = -1
+		}
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// applyRefresh blocks the bank for TRFC if a refresh window started since
+// the bank last refreshed: a lazy model of periodic all-bank refresh that
+// costs nothing when refresh is disabled (TREFI == 0). Refreshing closes
+// the row buffer.
+func (d *Device) applyRefresh(bk *bank, now memtypes.Tick) {
+	if d.cfg.TREFI == 0 {
+		return
+	}
+	window := now / d.cfg.TREFI * d.cfg.TREFI
+	if window <= bk.refreshedAt && bk.refreshedAt != 0 {
+		return
+	}
+	bk.refreshedAt = window
+	if end := window + d.cfg.TRFC; end > bk.freeAt {
+		bk.freeAt = end
+	}
+	bk.openRow = -1
+	d.Refreshes++
+}
+
+// Access performs a transfer of size bytes at addr starting no earlier
+// than now and returns the completion time. Write transfers complete when
+// the data has been accepted by the device. The call updates channel/bank
+// availability, row-buffer state, and traffic/energy counters.
+func (d *Device) Access(now memtypes.Tick, addr memtypes.Addr, bytes int, write bool) memtypes.Tick {
+	if bytes <= 0 {
+		return now
+	}
+	ch := &d.channels[(uint64(addr)/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
+	row := int64(uint64(addr) / uint64(d.cfg.RowBytes))
+	bk := &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)]
+	d.applyRefresh(bk, now)
+
+	start := now
+	if ch.busFreeAt > start {
+		start = ch.busFreeAt
+	}
+	if bk.freeAt > start {
+		start = bk.freeAt
+	}
+
+	var access memtypes.Tick
+	if bk.openRow == row {
+		access = d.cfg.TCAS
+	} else {
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		bk.openRow = row
+		d.Activations++
+	}
+	burst := memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
+	done := start + access + burst
+
+	// The data bus is occupied for the burst; command/CAS phases of
+	// other banks may overlap with it.
+	ch.busFreeAt = start + burst
+	bk.freeAt = done
+	d.busyCycles += float64(burst)
+
+	if write {
+		d.WriteBytes += uint64(bytes)
+		d.Writes++
+	} else {
+		d.ReadBytes += uint64(bytes)
+		d.Reads++
+	}
+	return done
+}
+
+// AccessBG performs a background transfer: cache fills, write-backs,
+// migrations and metadata updates that a real memory controller schedules
+// at lower priority than demand traffic. Background transfers queue
+// behind both demand and earlier background work, but never delay demand
+// accesses (which only observe the demand cursor). They update row-buffer
+// state and all traffic/energy counters.
+func (d *Device) AccessBG(now memtypes.Tick, addr memtypes.Addr, bytes int, write bool) memtypes.Tick {
+	if bytes <= 0 {
+		return now
+	}
+	ch := &d.channels[(uint64(addr)/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
+	row := int64(uint64(addr) / uint64(d.cfg.RowBytes))
+	bk := &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)]
+	d.applyRefresh(bk, now)
+
+	start := now
+	if ch.busFreeAt > start {
+		start = ch.busFreeAt
+	}
+	if ch.bgFreeAt > start {
+		start = ch.bgFreeAt
+	}
+	if bk.freeAt > start {
+		start = bk.freeAt
+	}
+	var access memtypes.Tick
+	if bk.openRow == row {
+		access = d.cfg.TCAS
+	} else {
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		bk.openRow = row
+		d.Activations++
+	}
+	burst := memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
+	done := start + access + burst
+	ch.bgFreeAt = start + burst
+	bk.freeAt = done
+	d.busyCycles += float64(burst)
+	if write {
+		d.WriteBytes += uint64(bytes)
+		d.Writes++
+	} else {
+		d.ReadBytes += uint64(bytes)
+		d.Reads++
+	}
+	return done
+}
+
+// AccessCriticalFirst performs a read of bytes at addr that returns the
+// demanded critical chunk early: the access latency is charged once, the
+// critical bytes complete first, and the channel stays occupied for the
+// full burst (critical-word-first fills). It returns the completion times
+// of the critical chunk and of the whole transfer.
+func (d *Device) AccessCriticalFirst(now memtypes.Tick, addr memtypes.Addr, bytes, critical int) (criticalDone, done memtypes.Tick) {
+	if bytes <= 0 {
+		return now, now
+	}
+	if critical <= 0 || critical > bytes {
+		critical = bytes
+	}
+	ch := &d.channels[(uint64(addr)/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
+	row := int64(uint64(addr) / uint64(d.cfg.RowBytes))
+	bk := &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)]
+	d.applyRefresh(bk, now)
+
+	start := now
+	if ch.busFreeAt > start {
+		start = ch.busFreeAt
+	}
+	if bk.freeAt > start {
+		start = bk.freeAt
+	}
+	var access memtypes.Tick
+	if bk.openRow == row {
+		access = d.cfg.TCAS
+	} else {
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		bk.openRow = row
+		d.Activations++
+	}
+	critBurst := memtypes.Tick(float64(critical)/d.cfg.BytesPerCycle + 0.999)
+	fullBurst := memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
+	criticalDone = start + access + critBurst
+	done = start + access + fullBurst
+
+	ch.busFreeAt = start + fullBurst
+	bk.freeAt = done
+	d.busyCycles += float64(fullBurst)
+	d.ReadBytes += uint64(bytes)
+	d.Reads++
+	return criticalDone, done
+}
+
+// DynamicEnergyNanoJ returns the dynamic energy consumed so far:
+// read/write+I/O energy proportional to bits moved plus activate/precharge
+// energy per activation (Table 1).
+func (d *Device) DynamicEnergyNanoJ() float64 {
+	bits := float64(d.ReadBytes+d.WriteBytes) * 8
+	return bits*d.cfg.RWPicoJPerBit/1000 + float64(d.Activations)*d.cfg.ActPreNanoJ
+}
+
+// BusyCycles returns accumulated data-bus occupancy across channels,
+// useful for utilization sanity checks in tests.
+func (d *Device) BusyCycles() float64 { return d.busyCycles }
+
+// PeakBandwidthBytesPerCycle returns the aggregate peak bandwidth.
+func (d *Device) PeakBandwidthBytesPerCycle() float64 {
+	return d.cfg.BytesPerCycle * float64(d.cfg.Channels)
+}

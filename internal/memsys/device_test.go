@@ -1,0 +1,243 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridmem/internal/memtypes"
+)
+
+func TestRowHitFasterThanRowMiss(t *testing.T) {
+	d := New(HBM2Config())
+	first := d.Access(0, 0, 64, false)       // row miss: activate
+	second := d.Access(first, 64, 64, false) // same row: hit
+	lat1 := first
+	lat2 := second - first
+	if lat2 >= lat1 {
+		t.Fatalf("row hit latency %d not lower than row miss %d", lat2, lat1)
+	}
+}
+
+func TestHBMFasterThanDDR4(t *testing.T) {
+	nm := New(HBM2Config())
+	fm := New(DDR4Config())
+	nmDone := nm.Access(0, 4096, 64, false)
+	fmDone := fm.Access(0, 4096, 64, false)
+	if nmDone >= fmDone {
+		t.Fatalf("HBM access (%d) should be faster than DDR4 (%d)", nmDone, fmDone)
+	}
+}
+
+func TestChannelContentionSerializes(t *testing.T) {
+	d := New(DDR4Config())
+	// Two back-to-back accesses to the same channel at the same instant:
+	// the second must start after the first releases the bus.
+	a := d.Access(0, 0, 2048, false)
+	b := d.Access(0, 0, 2048, false)
+	if b <= a {
+		t.Fatalf("contended access finished at %d, not after first at %d", b, a)
+	}
+}
+
+func TestDifferentChannelsOverlap(t *testing.T) {
+	d := New(HBM2Config())
+	cfg := d.Config()
+	a := d.Access(0, 0, 256, false)
+	// Next channel by interleave granularity.
+	b := d.Access(0, memtypes.Addr(cfg.InterleaveBytes), 256, false)
+	if b != a {
+		t.Fatalf("independent channels should give equal latency: %d vs %d", a, b)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	d := New(HBM2Config())
+	d.Access(0, 0, 64, false)
+	d.Access(0, 0, 128, true)
+	if d.ReadBytes != 64 || d.WriteBytes != 128 {
+		t.Fatalf("got read=%d write=%d, want 64/128", d.ReadBytes, d.WriteBytes)
+	}
+	if d.Reads != 1 || d.Writes != 1 {
+		t.Fatalf("got reads=%d writes=%d, want 1/1", d.Reads, d.Writes)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	d := New(HBM2Config())
+	d.Access(0, 0, 64, false) // one activation + 64B read
+	want := 64*8*6.4/1000 + 15.0
+	got := d.DynamicEnergyNanoJ()
+	if got < want*0.999 || got > want*1.001 {
+		t.Fatalf("energy %f, want %f", got, want)
+	}
+}
+
+func TestZeroByteAccessIsFree(t *testing.T) {
+	d := New(HBM2Config())
+	if done := d.Access(100, 0, 0, false); done != 100 {
+		t.Fatalf("zero-byte access advanced time to %d", done)
+	}
+	if d.ReadBytes != 0 {
+		t.Fatal("zero-byte access counted traffic")
+	}
+}
+
+func TestSustainedBandwidthBounded(t *testing.T) {
+	// Hammer one device with sequential traffic and check the achieved
+	// bandwidth never exceeds the configured peak.
+	d := New(HBM2Config())
+	var now memtypes.Tick
+	const n = 4000
+	for i := 0; i < n; i++ {
+		now = d.Access(now, memtypes.Addr(i*256), 256, false)
+	}
+	bytes := float64(n * 256)
+	bw := bytes / float64(now)
+	if peak := d.PeakBandwidthBytesPerCycle(); bw > peak {
+		t.Fatalf("achieved bandwidth %f exceeds peak %f", bw, peak)
+	}
+}
+
+func TestCompletionMonotoneProperty(t *testing.T) {
+	// Property: for monotonically non-decreasing issue times, completion
+	// is strictly after issue and traffic accumulates exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(DDR4Config())
+		var now memtypes.Tick
+		var wantRead, wantWrite uint64
+		for i := 0; i < 200; i++ {
+			addr := memtypes.Addr(rng.Intn(1 << 30))
+			sz := 64 << rng.Intn(4)
+			wr := rng.Intn(2) == 0
+			done := d.Access(now, addr, sz, wr)
+			if done <= now {
+				return false
+			}
+			if wr {
+				wantWrite += uint64(sz)
+			} else {
+				wantRead += uint64(sz)
+			}
+			now += memtypes.Tick(rng.Intn(50))
+		}
+		return d.ReadBytes == wantRead && d.WriteBytes == wantWrite
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackgroundDoesNotDelayDemand(t *testing.T) {
+	d := New(DDR4Config())
+	// A large background transfer at t=0...
+	d.AccessBG(0, 0, 4096, false)
+	// ...must not delay a demand access to the same channel.
+	bgFree := d.channels[0].bgFreeAt
+	done := d.Access(0, 0x2000, 64, false) // same channel, different bank
+	if done > bgFree {
+		t.Fatalf("demand access done at %d, after background at %d", done, bgFree)
+	}
+	plain := New(DDR4Config())
+	ref := plain.Access(0, 0x2000, 64, false)
+	if done != ref {
+		t.Fatalf("demand latency changed by background traffic: %d vs %d", done, ref)
+	}
+}
+
+func TestBackgroundQueuesBehindDemand(t *testing.T) {
+	d := New(DDR4Config())
+	demandDone := d.Access(0, 0, 2048, false)
+	bgDone := d.AccessBG(0, 0, 64, false)
+	if bgDone <= demandDone-memtypes.Tick(2048/8) {
+		t.Fatalf("background transfer (%d) jumped ahead of demand (%d)", bgDone, demandDone)
+	}
+}
+
+func TestBackgroundCountsTrafficAndEnergy(t *testing.T) {
+	d := New(HBM2Config())
+	d.AccessBG(0, 0, 2048, true)
+	if d.WriteBytes != 2048 {
+		t.Fatalf("background write bytes %d, want 2048", d.WriteBytes)
+	}
+	if d.DynamicEnergyNanoJ() <= 0 {
+		t.Fatal("background transfer consumed no energy")
+	}
+}
+
+func TestCriticalFirstOrdering(t *testing.T) {
+	d := New(DDR4Config())
+	crit, full := d.AccessCriticalFirst(0, 0, 2048, 64)
+	if crit >= full {
+		t.Fatalf("critical chunk (%d) not earlier than full burst (%d)", crit, full)
+	}
+	// The critical chunk must cost about one 64 B access, not the burst.
+	ref := New(DDR4Config())
+	single := ref.Access(0, 0, 64, false)
+	if crit != single {
+		t.Fatalf("critical latency %d, want single-access %d", crit, single)
+	}
+	if d.ReadBytes != 2048 {
+		t.Fatalf("read bytes %d, want full line", d.ReadBytes)
+	}
+}
+
+func TestCriticalFirstDegenerate(t *testing.T) {
+	d := New(DDR4Config())
+	crit, full := d.AccessCriticalFirst(5, 0, 0, 64)
+	if crit != 5 || full != 5 {
+		t.Fatal("zero-byte critical-first advanced time")
+	}
+	crit, full = d.AccessCriticalFirst(0, 0, 64, 128) // critical > bytes
+	if crit != full {
+		t.Fatal("oversized critical chunk mishandled")
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	d := New(DDR4Config())
+	d.Access(0, 0, 64, false)
+	d.Access(100000, 0, 64, false)
+	if d.Refreshes != 0 {
+		t.Fatalf("refreshes %d with refresh disabled", d.Refreshes)
+	}
+}
+
+func TestRefreshBlocksBank(t *testing.T) {
+	cfg := DDR4Config().WithRefresh()
+	d := New(cfg)
+	// An access right at a refresh window start waits out tRFC.
+	done := d.Access(cfg.TREFI, 0, 64, false)
+	plain := New(DDR4Config())
+	ref := plain.Access(cfg.TREFI, 0, 64, false)
+	if done < ref+cfg.TRFC-1 {
+		t.Fatalf("refresh did not delay access: %d vs %d+%d", done, ref, cfg.TRFC)
+	}
+	if d.Refreshes == 0 {
+		t.Fatal("no refresh recorded")
+	}
+}
+
+func TestRefreshClosesRowBuffer(t *testing.T) {
+	cfg := DDR4Config().WithRefresh()
+	d := New(cfg)
+	d.Access(0, 0, 64, false) // opens row 0
+	// Next access to the same row after a refresh window: row miss again.
+	acts := d.Activations
+	d.Access(cfg.TREFI+cfg.TRFC+100, 0, 64, false)
+	if d.Activations != acts+1 {
+		t.Fatal("row survived a refresh")
+	}
+}
+
+func TestRefreshAppliedOncePerWindow(t *testing.T) {
+	cfg := DDR4Config().WithRefresh()
+	d := New(cfg)
+	for i := 0; i < 10; i++ {
+		d.Access(cfg.TREFI+memtypes.Tick(i)*200, 0, 64, false)
+	}
+	if d.Refreshes != 1 {
+		t.Fatalf("refreshes %d for one window and one bank, want 1", d.Refreshes)
+	}
+}

@@ -1,0 +1,72 @@
+// Package memtypes holds the shared primitive types of the memory-system
+// simulator: addresses, time, the MemorySystem interface implemented by
+// every evaluated design, and the traffic statistics they report.
+package memtypes
+
+// Addr is a byte address in the processor physical address space.
+type Addr uint64
+
+// Tick is a point in time measured in CPU cycles (3.2 GHz in the paper's
+// configuration, Table 1).
+type Tick uint64
+
+// CPULineBytes is the granularity of processor memory requests: one
+// last-level-cache line.
+const CPULineBytes = 64
+
+// MemorySystem is the interface every memory organization under study
+// implements: the flat baseline, the DRAM caches, the migration schemes,
+// and Hybrid2 itself. The simulation driver issues one call per LLC miss
+// or dirty write-back.
+type MemorySystem interface {
+	// Name identifies the design in experiment output.
+	Name() string
+
+	// Access serves one 64-byte request issued at time now and returns
+	// the time at which the requested data is available (for reads) or
+	// accepted (for writes). Implementations account all induced traffic
+	// (fills, write-backs, migrations, metadata) internally.
+	Access(now Tick, addr Addr, write bool) Tick
+
+	// Finish flushes design state that would otherwise stay buffered
+	// (e.g. pending interval work) at simulation end time now.
+	Finish(now Tick)
+
+	// Stats returns the design's traffic counters. The returned pointer
+	// stays valid and live for the lifetime of the design.
+	Stats() *MemStats
+}
+
+// MemStats aggregates the traffic a MemorySystem induced on the two
+// memory devices, split the way the paper's Figures 15-18 need it.
+type MemStats struct {
+	Requests     uint64 // processor requests seen
+	ServedNM     uint64 // processor requests whose data came from NM
+	ServedFM     uint64 // processor requests whose data came from FM
+	NMReadBytes  uint64 // all NM reads (demand + fills + metadata)
+	NMWriteBytes uint64
+	FMReadBytes  uint64
+	FMWriteBytes uint64
+	MetaNMBytes  uint64 // subset of NM traffic due to remap/tag metadata
+	Migrations   uint64 // sectors/segments/pages moved into NM
+	Evictions    uint64 // cache or NM evictions back to FM
+	// Wasted-fetch accounting for Figure 1: bytes fetched into the NM
+	// cache and bytes of those actually touched before eviction.
+	FetchedBytes uint64
+	UsedBytes    uint64
+}
+
+// NMTraffic returns total bytes moved on the near-memory interface.
+func (s *MemStats) NMTraffic() uint64 { return s.NMReadBytes + s.NMWriteBytes }
+
+// FMTraffic returns total bytes moved on the far-memory interface.
+func (s *MemStats) FMTraffic() uint64 { return s.FMReadBytes + s.FMWriteBytes }
+
+// WastedFrac returns the fraction of fetched bytes never used before
+// eviction (Figure 1). Returns 0 when nothing was fetched.
+func (s *MemStats) WastedFrac() float64 {
+	if s.FetchedBytes == 0 {
+		return 0
+	}
+	return float64(s.FetchedBytes-s.UsedBytes) / float64(s.FetchedBytes)
+}

@@ -1,0 +1,226 @@
+// Package sim wires the interval cores, the shared LLC and one memory
+// organization together and runs a workload to completion, producing the
+// per-run metrics every figure of the paper is built from.
+package sim
+
+import (
+	"hybridmem/internal/cachesim"
+	"hybridmem/internal/config"
+	"hybridmem/internal/cpu"
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+	"hybridmem/internal/workload"
+)
+
+// Result holds the measurements of one (workload, design) run.
+type Result struct {
+	Workload string
+	Design   string
+
+	Cycles       memtypes.Tick
+	Instructions uint64
+	IPC          float64
+
+	LLCAccesses uint64
+	LLCMisses   uint64
+	MPKI        float64
+
+	Mem memtypes.MemStats // copy of the design's traffic counters
+
+	NMEnergyNJ float64
+	FMEnergyNJ float64
+
+	// Demand read-miss latency distribution (cycles), as seen by the
+	// cores: mean and percentiles from a log2-bucketed histogram.
+	LatMean float64
+	LatP50  memtypes.Tick
+	LatP99  memtypes.Tick
+}
+
+// latHist is a log2-bucketed latency histogram: bucket i holds latencies
+// in [2^i, 2^(i+1)); percentile reads return the bucket's upper bound.
+type latHist struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+}
+
+func (h *latHist) add(lat memtypes.Tick) {
+	h.count++
+	h.sum += uint64(lat)
+	b := 0
+	for v := lat; v > 1 && b < len(h.buckets)-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+}
+
+func (h *latHist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+func (h *latHist) percentile(p float64) memtypes.Tick {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.count))
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return 1 << uint(i+1)
+		}
+	}
+	return 1 << uint(len(h.buckets))
+}
+
+// ServedNMFrac returns the fraction of memory requests served from NM.
+func (r Result) ServedNMFrac() float64 {
+	if r.Mem.Requests == 0 {
+		return 0
+	}
+	return float64(r.Mem.ServedNM) / float64(r.Mem.Requests)
+}
+
+// DynamicEnergyNJ returns total dynamic memory energy.
+func (r Result) DynamicEnergyNJ() float64 { return r.NMEnergyNJ + r.FMEnergyNJ }
+
+// Source yields one core's trace records: gap non-memory instructions
+// followed by a 64 B access. Implemented by workload.Stream and by
+// trace.Replayer.
+type Source interface {
+	Next() (gap uint64, addr memtypes.Addr, write bool, ok bool)
+}
+
+// mlpFor derives the effective memory-level parallelism from a workload's
+// spatial behaviour: streaming workloads keep many independent misses in
+// flight, pointer-chasing ones serialize on dependent loads.
+func mlpFor(spec workload.Spec) int {
+	mlp := int(1 + spec.SeqRun/4)
+	if mlp < 1 {
+		mlp = 1
+	}
+	if mlp > 8 {
+		mlp = 8
+	}
+	return mlp
+}
+
+// Run executes spec on the given memory system. nm and fm are the devices
+// the design was built over (nm may be nil for the no-NM baseline); they
+// are only read for energy accounting.
+func Run(spec workload.Spec, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System) Result {
+	srcs := make([]Source, config.Cores)
+	for i := range srcs {
+		srcs[i] = workload.NewStream(spec, i, sys.Scale, sys.InstrPerCore, sys.Seed)
+	}
+	return RunSources(spec.Name, srcs, mlpFor(spec), ms, nm, fm, sys)
+}
+
+// RunSources executes one explicit trace source per core — the entry
+// point for replaying captured traces. mlp bounds each core's overlapped
+// misses.
+func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System) Result {
+	llc := cachesim.New(sys.LLCBytes, config.LLCAssoc, memtypes.CPULineBytes)
+	var lat latHist
+
+	n := len(srcs)
+	cores := make([]*cpu.Core, n)
+	streams := srcs
+	active := n
+	done := make([]bool, n)
+	for i := range cores {
+		cores[i] = cpu.New(config.IssueWidth, mlp)
+	}
+
+	for active > 0 {
+		// Advance the earliest core: keeps memory-system calls in
+		// near-time order so device contention is modeled consistently.
+		sel := -1
+		for i, c := range cores {
+			if done[i] {
+				continue
+			}
+			if sel < 0 || c.Time < cores[sel].Time {
+				sel = i
+			}
+		}
+		c := cores[sel]
+		gap, addr, write, ok := streams[sel].Next()
+		if !ok {
+			c.DrainMisses()
+			done[sel] = true
+			active--
+			continue
+		}
+		c.AdvanceCompute(gap)
+		c.RetireMemOp()
+		c.AddLatency(config.LLCLatency)
+		hit, victim, evicted := llc.Access(addr, write)
+		if !hit {
+			// Write-allocate: the fill is a read either way. Loads stall
+			// the core through the MSHRs; stores retire through the
+			// write buffer, which applies backpressure when full.
+			fill := ms.Access(c.Time, addr, false)
+			if write {
+				c.StallForWrite(fill)
+			} else {
+				lat.add(fill - c.Time)
+				c.StallForMiss(fill)
+			}
+		}
+		if evicted && victim.Dirty {
+			c.StallForWrite(ms.Access(c.Time, victim.Addr, true))
+		}
+		if !hit && sys.NextLinePrefetch {
+			// Next-line prefetch: fill addr+64 if absent; the fill does
+			// not stall the core, and its dirty victim writes back.
+			next := addr + memtypes.CPULineBytes
+			if pHit, pVictim, pEvicted := llc.Access(next, false); !pHit {
+				ms.Access(c.Time, next, false)
+				if pEvicted && pVictim.Dirty {
+					ms.Access(c.Time, pVictim.Addr, true)
+				}
+			}
+		}
+	}
+
+	var cycles memtypes.Tick
+	var instr uint64
+	for _, c := range cores {
+		if c.Time > cycles {
+			cycles = c.Time
+		}
+		instr += c.Instructions
+	}
+	ms.Finish(cycles)
+
+	res := Result{
+		Workload:     name,
+		Design:       ms.Name(),
+		Cycles:       cycles,
+		Instructions: instr,
+		LLCAccesses:  llc.Accesses,
+		LLCMisses:    llc.Misses,
+		Mem:          *ms.Stats(),
+	}
+	if cycles > 0 {
+		res.IPC = float64(instr) / float64(cycles)
+	}
+	if instr > 0 {
+		res.MPKI = float64(llc.Misses) / (float64(instr) / 1000)
+	}
+	if nm != nil {
+		res.NMEnergyNJ = nm.DynamicEnergyNanoJ()
+	}
+	if fm != nil {
+		res.FMEnergyNJ = fm.DynamicEnergyNanoJ()
+	}
+	res.LatMean = lat.mean()
+	res.LatP50 = lat.percentile(0.50)
+	res.LatP99 = lat.percentile(0.99)
+	return res
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"hybridmem/internal/baselines/flat"
+	"hybridmem/internal/config"
+	"hybridmem/internal/memsys"
+	"hybridmem/internal/memtypes"
+	"hybridmem/internal/workload"
+)
+
+func sys(instr uint64) config.System {
+	s := config.Scaled(16, 1)
+	s.InstrPerCore = instr
+	return s
+}
+
+func TestRunCompletesAllCores(t *testing.T) {
+	spec, _ := workload.ByName("xz")
+	fm := memsys.New(memsys.DDR4Config())
+	res := Run(spec, flat.NewFMOnly(fm), nil, fm, sys(100_000))
+	// 8 cores, ~100 K instructions each.
+	if res.Instructions < 8*50_000 || res.Instructions > 8*110_000 {
+		t.Fatalf("instructions %d, want ~800K", res.Instructions)
+	}
+	if res.Cycles == 0 || res.IPC <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec, _ := workload.ByName("gcc")
+	run := func() Result {
+		fm := memsys.New(memsys.DDR4Config())
+		return Run(spec, flat.NewFMOnly(fm), nil, fm, sys(100_000))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic run:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMPKIMeasuredNearPaper(t *testing.T) {
+	// The generator is calibrated so baseline MPKI lands near Table 2.
+	for _, name := range []string{"lbm", "omnetpp", "namd"} {
+		spec, _ := workload.ByName(name)
+		fm := memsys.New(memsys.DDR4Config())
+		res := Run(spec, flat.NewFMOnly(fm), nil, fm, sys(500_000))
+		lo, hi := spec.PaperMPKI*0.5, spec.PaperMPKI*2.0+1
+		if res.MPKI < lo || res.MPKI > hi {
+			t.Fatalf("%s: measured MPKI %.1f outside [%.1f, %.1f]", name, res.MPKI, lo, hi)
+		}
+	}
+}
+
+func TestNMOnlyBeatsFMOnly(t *testing.T) {
+	spec, _ := workload.ByName("lbm")
+	fm := memsys.New(memsys.DDR4Config())
+	resFM := Run(spec, flat.NewFMOnly(fm), nil, fm, sys(200_000))
+	nm := memsys.New(memsys.HBM2Config())
+	resNM := Run(spec, flat.NewNMOnly(nm), nm, nil, sys(200_000))
+	if resNM.Cycles >= resFM.Cycles {
+		t.Fatalf("NM-only (%d cycles) not faster than FM-only (%d)", resNM.Cycles, resFM.Cycles)
+	}
+}
+
+func TestEnergyAccounted(t *testing.T) {
+	spec, _ := workload.ByName("xz")
+	fm := memsys.New(memsys.DDR4Config())
+	res := Run(spec, flat.NewFMOnly(fm), nil, fm, sys(100_000))
+	if res.FMEnergyNJ <= 0 {
+		t.Fatal("no FM energy recorded")
+	}
+	if res.NMEnergyNJ != 0 {
+		t.Fatal("NM energy recorded without an NM device")
+	}
+}
+
+func TestMLPDerivation(t *testing.T) {
+	stream, _ := workload.ByName("lbm") // SeqRun 56 -> clamp at 8
+	if got := mlpFor(stream); got != 8 {
+		t.Fatalf("lbm MLP %d, want 8", got)
+	}
+	ptr, _ := workload.ByName("deepsjeng") // SeqRun 2 -> 1
+	if got := mlpFor(ptr); got != 1 {
+		t.Fatalf("deepsjeng MLP %d, want 1", got)
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var h latHist
+	for i := 1; i <= 1000; i++ {
+		h.add(memtypes.Tick(i))
+	}
+	if h.mean() < 450 || h.mean() > 550 {
+		t.Fatalf("mean %.0f, want ~500", h.mean())
+	}
+	p50 := h.percentile(0.5)
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 bucket bound %d out of plausible range", p50)
+	}
+	p99 := h.percentile(0.99)
+	if p99 < p50 {
+		t.Fatal("p99 below p50")
+	}
+	var empty latHist
+	if empty.mean() != 0 || empty.percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestRunReportsLatencyPercentiles(t *testing.T) {
+	spec, _ := workload.ByName("lbm")
+	fm := memsys.New(memsys.DDR4Config())
+	res := Run(spec, flat.NewFMOnly(fm), nil, fm, sys(100_000))
+	if res.LatMean <= 0 || res.LatP50 == 0 || res.LatP99 < res.LatP50 {
+		t.Fatalf("latency stats malformed: mean=%.1f p50=%d p99=%d", res.LatMean, res.LatP50, res.LatP99)
+	}
+}

@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean(1,4)=%f, want 2", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil)=%f, want 0", g)
+	}
+	if g := Geomean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean(2,2,2)=%f", g)
+	}
+}
+
+func TestGeomeanClampsNonPositive(t *testing.T) {
+	g := Geomean([]float64{0, 4})
+	if math.IsNaN(g) || math.IsInf(g, 0) {
+		t.Fatalf("geomean with zero produced %f", g)
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 || Mean(xs) != 2 {
+		t.Fatalf("min/max/mean = %f/%f/%f", Min(xs), Max(xs), Mean(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty-slice aggregates not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("ratio semantics")
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)*(1-1e-9) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace defines a plain-text memory-trace format and a replayer,
+// so the simulator can be driven by captured traces (e.g. from Pin, as
+// the paper's authors did) instead of the built-in synthetic workloads.
+//
+// Format: one record per line, blank lines and '#' comments ignored:
+//
+//	<core> <gap> <addr-hex> R|W
+//
+// core is the issuing core (0-7), gap the number of non-memory
+// instructions preceding the access, addr the byte address (hex, with or
+// without 0x), and R/W the access type. Records of one core must appear
+// in program order; cores may interleave arbitrarily.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hybridmem/internal/memtypes"
+)
+
+// Record is one memory access of one core's trace.
+type Record struct {
+	Gap   uint64 // non-memory instructions before this access
+	Addr  memtypes.Addr
+	Write bool
+}
+
+// Trace holds per-core record streams.
+type Trace struct {
+	Cores [][]Record
+}
+
+// Read parses a trace with at most maxCores cores.
+func Read(r io.Reader, maxCores int) (*Trace, error) {
+	t := &Trace{Cores: make([][]Record, maxCores)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(f))
+		}
+		core, err := strconv.Atoi(f[0])
+		if err != nil || core < 0 || core >= maxCores {
+			return nil, fmt.Errorf("trace: line %d: bad core %q", lineNo, f[0])
+		}
+		gap, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, f[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(f[2], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, f[2])
+		}
+		var write bool
+		switch f[3] {
+		case "R", "r":
+			write = false
+		case "W", "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad access type %q", lineNo, f[3])
+		}
+		t.Cores[core] = append(t.Cores[core], Record{Gap: gap, Addr: memtypes.Addr(addr), Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}
+
+// Write serializes the trace in core-interleaved round-robin order.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	idx := make([]int, len(t.Cores))
+	for {
+		wrote := false
+		for c := range t.Cores {
+			if idx[c] >= len(t.Cores[c]) {
+				continue
+			}
+			r := t.Cores[c][idx[c]]
+			idx[c]++
+			wrote = true
+			rw := "R"
+			if r.Write {
+				rw = "W"
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %x %s\n", c, r.Gap, uint64(r.Addr), rw); err != nil {
+				return err
+			}
+		}
+		if !wrote {
+			break
+		}
+	}
+	return bw.Flush()
+}
+
+// Records returns the total record count.
+func (t *Trace) Records() int {
+	n := 0
+	for _, c := range t.Cores {
+		n += len(c)
+	}
+	return n
+}
+
+// Replayer replays one core's records; it implements sim.Source.
+type Replayer struct {
+	recs []Record
+	pos  int
+}
+
+// NewReplayer returns a replayer over one core's records.
+func NewReplayer(recs []Record) *Replayer { return &Replayer{recs: recs} }
+
+// Next implements sim.Source.
+func (p *Replayer) Next() (gap uint64, addr memtypes.Addr, write bool, ok bool) {
+	if p.pos >= len(p.recs) {
+		return 0, 0, false, false
+	}
+	r := p.recs[p.pos]
+	p.pos++
+	return r.Gap, r.Addr, r.Write, true
+}

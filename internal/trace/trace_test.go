@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hybridmem/internal/memtypes"
+)
+
+const sample = `# comment and blank lines are ignored
+
+0 12 1000 R
+1 3 0x2040 W
+0 7 10c0 r
+7 0 ff w
+`
+
+func TestReadSample(t *testing.T) {
+	tr, err := Read(strings.NewReader(sample), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Records() != 4 {
+		t.Fatalf("records %d, want 4", tr.Records())
+	}
+	if len(tr.Cores[0]) != 2 || len(tr.Cores[1]) != 1 || len(tr.Cores[7]) != 1 {
+		t.Fatalf("per-core counts wrong: %d/%d/%d", len(tr.Cores[0]), len(tr.Cores[1]), len(tr.Cores[7]))
+	}
+	r := tr.Cores[0][0]
+	if r.Gap != 12 || r.Addr != 0x1000 || r.Write {
+		t.Fatalf("record mismatch: %+v", r)
+	}
+	if !tr.Cores[1][0].Write {
+		t.Fatal("W record parsed as read")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"0 1 1000",   // missing field
+		"9 1 1000 R", // core out of range
+		"0 x 1000 R", // bad gap
+		"0 1 zz R",   // bad address
+		"0 1 1000 X", // bad type
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c), 8); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := &Trace{Cores: make([][]Record, 8)}
+		s := uint64(seed)
+		n := int(s%50) + 1
+		for i := 0; i < n; i++ {
+			s = s*6364136223846793005 + 1
+			core := int(s % 8)
+			tr.Cores[core] = append(tr.Cores[core], Record{
+				Gap:   s % 1000,
+				Addr:  memtypes.Addr(s % (1 << 30)),
+				Write: s%3 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf, 8)
+		if err != nil {
+			return false
+		}
+		if back.Records() != tr.Records() {
+			return false
+		}
+		for c := range tr.Cores {
+			for i := range tr.Cores[c] {
+				if back.Cores[c][i] != tr.Cores[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayerYieldsInOrder(t *testing.T) {
+	recs := []Record{{Gap: 1, Addr: 64}, {Gap: 2, Addr: 128, Write: true}}
+	p := NewReplayer(recs)
+	g, a, w, ok := p.Next()
+	if !ok || g != 1 || a != 64 || w {
+		t.Fatalf("first record wrong: %d %d %v %v", g, a, w, ok)
+	}
+	g, a, w, ok = p.Next()
+	if !ok || g != 2 || a != 128 || !w {
+		t.Fatalf("second record wrong: %d %d %v %v", g, a, w, ok)
+	}
+	if _, _, _, ok = p.Next(); ok {
+		t.Fatal("replayer did not terminate")
+	}
+}
+
+func TestEmptyReplayer(t *testing.T) {
+	p := NewReplayer(nil)
+	if _, _, _, ok := p.Next(); ok {
+		t.Fatal("empty replayer yielded a record")
+	}
+}
