@@ -133,6 +133,50 @@ func BenchmarkFig18Energy(b *testing.B) {
 	b.ReportMetric(vals["HYBRID2"][3], "energy-hybrid2")
 }
 
+// sweepBenchRunner returns a fresh runner for the serial-vs-parallel
+// comparison: a Fig. 2-style multi-design sweep over six workloads. The
+// per-iteration seed defeats memoization across b.N iterations.
+func sweepBenchRunner(parallelism int, seed uint64) *exp.Runner {
+	r := exp.NewRunner()
+	r.InstrPerCore = 60_000
+	specs := workload.Specs()
+	r.Subset = []workload.Spec{specs[0], specs[4], specs[11], specs[15], specs[22], specs[29]}
+	r.Parallelism = parallelism
+	r.Seed = seed
+	return r
+}
+
+func benchmarkFig2Sweep(b *testing.B, parallelism int) {
+	for i := 0; i < b.N; i++ {
+		r := sweepBenchRunner(parallelism, uint64(i+1))
+		if t, _ := exp.Fig2(r); len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel regenerate the same
+// Figure 2 sweep with one worker and with all CPUs; comparing their
+// wall-clock times measures the parallel engine's speedup.
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkFig2Sweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkFig2Sweep(b, 0) }
+
+// BenchmarkRunAllParallel exercises the public sweep API end to end.
+func BenchmarkRunAllParallel(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.InstrPerCore = 60_000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := RunAll(cfg, SweepOptions{Workloads: []string{"cg.D", "lbm", "xz", "namd"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 4*len(Designs()) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // instructions per wall-clock second on the full Hybrid2 stack.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -6,7 +6,10 @@
 //	experiments                  # everything (minutes of CPU time)
 //	experiments -run fig12,fig13 # selected artifacts
 //	experiments -quick           # subsampled workloads, shorter streams
+//	experiments -parallel 1      # force serial execution
 //
+// Independent simulation runs fan out across -parallel workers (all CPUs
+// by default); results are deterministic and identical to a serial run.
 // Results are printed to stdout; EXPERIMENTS.md records a full run.
 package main
 
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,7 +31,9 @@ func main() {
 	scale := flag.Int("scale", 16, "capacity scale divisor")
 	instr := flag.Uint64("instr", 1_000_000, "instructions per core")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation runs evaluated concurrently")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	jsonDir := flag.String("json", "", "also write each artifact as JSON into this directory")
 	flag.Parse()
 
 	var r *exp.Runner
@@ -39,6 +45,7 @@ func main() {
 	}
 	r.Scale = *scale
 	r.Seed = *seed
+	r.Parallelism = *parallel
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*runSel, ",") {
@@ -55,6 +62,16 @@ func main() {
 		if *csvDir != "" {
 			path := *csvDir + "/" + t.Slug() + ".csv"
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if *jsonDir != "" {
+			data, err := t.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonDir+"/"+t.Slug()+".json", data, 0o644)
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
 			}

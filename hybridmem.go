@@ -23,6 +23,9 @@
 //	res, err := hybridmem.Run("HYBRID2", "lbm", hybridmem.DefaultConfig())
 //	base, _ := hybridmem.Run("Baseline", "lbm", hybridmem.DefaultConfig())
 //	fmt.Printf("speedup: %.2f\n", float64(base.Cycles)/float64(res.Cycles))
+//
+// RunAll sweeps many (design, workload) pairs across a worker pool; the
+// results are deterministic and identical at any parallelism.
 package hybridmem
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"hybridmem/internal/config"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/sim"
 	"hybridmem/internal/workload"
 )
 
@@ -108,11 +112,67 @@ func Run(design, workloadName string, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
 	}
 	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
-	res, err := runChecked(r, spec, design, cfg.NMRatio16)
+	sr, err := r.ResultErr(spec, design, cfg.NMRatio16)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("hybridmem: %w", err)
 	}
-	return res, nil
+	return fromSim(sr), nil
+}
+
+// SweepOptions configures a RunAll sweep beyond the per-run Config.
+type SweepOptions struct {
+	// Parallelism bounds the simulations evaluated concurrently; <= 0
+	// means GOMAXPROCS, 1 forces strictly serial execution. Results are
+	// deterministic and identical at any setting.
+	Parallelism int
+	// Designs to sweep; nil means Designs() (baseline + the six main
+	// designs of the evaluation).
+	Designs []string
+	// Workloads to sweep by name; nil means all 30 built-in benchmarks.
+	Workloads []string
+}
+
+// RunAll evaluates every (design, workload) pair of a sweep across a
+// worker pool and returns the results in design-major, workload-minor
+// order — the paper's figure layout. A malformed design or workload name
+// fails the whole sweep with an error identifying it.
+func RunAll(cfg Config, opts SweepOptions) ([]Result, error) {
+	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
+		return nil, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	}
+	designs := opts.Designs
+	if designs == nil {
+		designs = Designs()
+	}
+	names := opts.Workloads
+	if names == nil {
+		names = Workloads()
+	}
+	specs := make([]exp.RunSpec, 0, len(designs)*len(names))
+	for _, d := range designs {
+		for _, n := range names {
+			wl, ok := workload.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("hybridmem: unknown workload %q", n)
+			}
+			specs = append(specs, exp.RunSpec{Workload: wl, Design: d, Ratio16: cfg.NMRatio16})
+		}
+	}
+	r := &exp.Runner{
+		Scale:        cfg.Scale,
+		InstrPerCore: cfg.InstrPerCore,
+		Seed:         cfg.Seed,
+		Parallelism:  opts.Parallelism,
+	}
+	srs, err := r.ResultsParallel(specs)
+	if err != nil {
+		return nil, fmt.Errorf("hybridmem: %w", err)
+	}
+	out := make([]Result, len(srs))
+	for i, sr := range srs {
+		out[i] = fromSim(sr)
+	}
+	return out, nil
 }
 
 // Speedup runs design and the baseline on one workload and returns the
@@ -170,7 +230,11 @@ func RunCustom(design string, w Workload, cfg Config) (Result, error) {
 		Phases:           w.Phases,
 	}
 	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
-	return runChecked(r, spec, design, cfg.NMRatio16)
+	sr, err := r.ResultErr(spec, design, cfg.NMRatio16)
+	if err != nil {
+		return Result{}, fmt.Errorf("hybridmem: %w", err)
+	}
+	return fromSim(sr), nil
 }
 
 // RunTrace replays a captured memory trace on a design. The text format
@@ -186,46 +250,15 @@ func RunTrace(design, name string, trace io.Reader, mlp int, cfg Config) (Result
 		mlp = 1
 	}
 	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
-	var out Result
-	err := func() (err error) {
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("hybridmem: %v", p)
-			}
-		}()
-		sr, err := r.RunTrace(name, trace, design, cfg.NMRatio16, mlp)
-		if err != nil {
-			return err
-		}
-		out = Result{
-			Workload:       sr.Workload,
-			Design:         sr.Design,
-			Cycles:         uint64(sr.Cycles),
-			Instructions:   sr.Instructions,
-			IPC:            sr.IPC,
-			MPKI:           sr.MPKI,
-			Requests:       sr.Mem.Requests,
-			ServedNMFrac:   sr.ServedNMFrac(),
-			NMTrafficBytes: sr.Mem.NMTraffic(),
-			FMTrafficBytes: sr.Mem.FMTraffic(),
-			MetaNMBytes:    sr.Mem.MetaNMBytes,
-			Migrations:     sr.Mem.Migrations,
-			EnergyNanoJ:    sr.DynamicEnergyNJ(),
-		}
-		return nil
-	}()
-	return out, err
+	sr, err := r.RunTrace(name, trace, design, cfg.NMRatio16, mlp)
+	if err != nil {
+		return Result{}, fmt.Errorf("hybridmem: %w", err)
+	}
+	return fromSim(sr), nil
 }
 
-// runChecked converts a Runner run, translating design-name panics from
-// the internal builder into errors.
-func runChecked(r *exp.Runner, spec workload.Spec, design string, ratio16 int) (res Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("hybridmem: %v", p)
-		}
-	}()
-	sr := r.Result(spec, design, ratio16)
+// fromSim converts an internal simulation result to the public form.
+func fromSim(sr sim.Result) Result {
 	return Result{
 		Workload:       sr.Workload,
 		Design:         sr.Design,
@@ -240,5 +273,5 @@ func runChecked(r *exp.Runner, spec workload.Spec, design string, ratio16 int) (
 		MetaNMBytes:    sr.Mem.MetaNMBytes,
 		Migrations:     sr.Mem.Migrations,
 		EnergyNanoJ:    sr.DynamicEnergyNJ(),
-	}, nil
+	}
 }

@@ -69,6 +69,50 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunAllSweep(t *testing.T) {
+	cfg := quickCfg()
+	opts := SweepOptions{Workloads: []string{"lbm", "namd"}, Designs: []string{"Baseline", "HYBRID2"}}
+	res, err := RunAll(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	// Design-major, workload-minor ordering.
+	order := []struct{ d, w string }{
+		{"Baseline", "lbm"}, {"Baseline", "namd"}, {"HYBRID2", "lbm"}, {"HYBRID2", "namd"},
+	}
+	for i, want := range order {
+		if res[i].Design != want.d || res[i].Workload != want.w {
+			t.Fatalf("slot %d = %s/%s, want %s/%s", i, res[i].Design, res[i].Workload, want.d, want.w)
+		}
+		if res[i].Cycles == 0 {
+			t.Fatalf("slot %d empty: %+v", i, res[i])
+		}
+	}
+	// The sweep must agree with individual Run calls at any parallelism.
+	single, err := Run("HYBRID2", "lbm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[2] != single {
+		t.Fatalf("RunAll result differs from Run:\n%+v\n%+v", res[2], single)
+	}
+}
+
+func TestRunAllErrors(t *testing.T) {
+	if _, err := RunAll(quickCfg(), SweepOptions{Workloads: []string{"nosuch"}}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := RunAll(quickCfg(), SweepOptions{Designs: []string{"NOSUCH"}, Workloads: []string{"lbm"}}); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if _, err := RunAll(Config{}, SweepOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
 func TestSpeedupAboveBaselineForHighMPKI(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.InstrPerCore = 300_000

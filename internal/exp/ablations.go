@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"hybridmem/internal/core"
-	"hybridmem/internal/memsys"
-	"hybridmem/internal/memtypes"
 	"hybridmem/internal/sim"
 	"hybridmem/internal/stats"
 	"hybridmem/internal/workload"
@@ -37,6 +35,11 @@ var AblationVariants = []struct {
 func Ablations(r *Runner) (Table, map[string]float64) {
 	t := Table{Title: "Ablations: Hybrid2 design-choice sensitivity (1:16 NM)",
 		Header: []string{"Variant", "Geomean speedup", "Description"}}
+	designs := []string{"Baseline"}
+	for _, v := range AblationVariants {
+		designs = append(designs, v.Design)
+	}
+	r.mustSweep(designs, []int{1})
 	out := make(map[string]float64, len(AblationVariants))
 	for _, v := range AblationVariants {
 		g := stats.Geomean(r.AllSpeedups(v.Design, 1))
@@ -53,11 +56,19 @@ func Ablations(r *Runner) (Table, map[string]float64) {
 func SeedSensitivity(r *Runner, seeds []uint64) (Table, map[string][3]float64) {
 	t := Table{Title: fmt.Sprintf("Seed sensitivity over %d seeds (1:16 NM)", len(seeds)),
 		Header: []string{"Design", "Min", "Mean", "Max"}}
+	// One sub-runner per seed, each pre-warmed over the full design set,
+	// so the baseline runs once per seed instead of once per (design,
+	// seed) pair as the old demand-running loop did.
+	subs := make([]*Runner, len(seeds))
+	for i, seed := range seeds {
+		subs[i] = r.clone()
+		subs[i].Seed = seed
+		subs[i].mustSweep(withBaseline(MainDesigns), []int{1})
+	}
 	out := make(map[string][3]float64)
 	for _, d := range MainDesigns {
 		var gs []float64
-		for _, seed := range seeds {
-			sub := &Runner{Scale: r.Scale, InstrPerCore: r.InstrPerCore, Seed: seed, Subset: r.Subset}
+		for _, sub := range subs {
 			gs = append(gs, stats.Geomean(sub.AllSpeedups(d, 1)))
 		}
 		v := [3]float64{stats.Min(gs), stats.Mean(gs), stats.Max(gs)}
@@ -73,6 +84,7 @@ func SeedSensitivity(r *Runner, seeds []uint64) (Table, map[string][3]float64) {
 func ExtrasTable(r *Runner) (Table, map[string][3]float64) {
 	t := Table{Title: "Extra related-work designs (min/max/geomean speedup, 1:16 NM)",
 		Header: []string{"Design", "Min", "Max", "Geomean"}}
+	r.mustSweep(withBaseline(ExtraDesigns), []int{1})
 	out := make(map[string][3]float64)
 	for _, d := range ExtraDesigns {
 		sp := r.AllSpeedups(d, 1)
@@ -90,17 +102,30 @@ func ExtrasTable(r *Runner) (Table, map[string][3]float64) {
 func PathBreakdown(r *Runner) (Table, map[string]float64) {
 	t := Table{Title: "Hybrid2 access-path breakdown (Fig. 7 outcomes, 1:16 NM; paper: 9.3% need 2b)",
 		Header: []string{"Benchmark", "1a-hit", "1b-linefetch", "2a-adopt", "2b-allocate"}}
+	// These runs need the core's path counters, which the memoized
+	// sim.Result does not carry, so they bypass the Runner cache and fan
+	// out over parallelFor directly; rows land in workload order.
+	wls := r.Workloads()
+	stats2b := make([]core.PathStats, len(wls))
+	err := r.parallelFor(len(wls), func(i int) error {
+		sys := r.system(1)
+		ms, nm, fm, err := r.build("HYBRID2", sys)
+		if err != nil {
+			return err
+		}
+		h := ms.(*core.Hybrid2)
+		sim.Run(wls[i], h, nm, fm, sys)
+		stats2b[i] = h.PathStats()
+		return nil
+	})
+	if err != nil {
+		panic(err) // HYBRID2 is statically well-formed; see mustSweep
+	}
+
 	out := make(map[string]float64)
 	var fracs []float64
-	for _, wl := range r.Workloads() {
-		sys := r.system(1)
-		nm := memsys.New(memsys.HBM2Config())
-		fm := memsys.New(memsys.DDR4Config())
-		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
-		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
-		h := core.New(cfg, nm, fm)
-		sim.Run(wl, h, nm, fm, sys)
-		p := h.PathStats()
+	for i, wl := range wls {
+		p := stats2b[i]
 		total := float64(p.Hit1a + p.Hit1b + p.Miss2a + p.Miss2b)
 		if total == 0 {
 			total = 1
@@ -121,7 +146,10 @@ func PrefetchStudy(r *Runner) (Table, map[string][2]float64) {
 	t := Table{Title: "Next-line LLC prefetcher study (geomean speedup, 1:16 NM)",
 		Header: []string{"Design", "No prefetch", "With prefetch"}}
 	out := make(map[string][2]float64)
-	pf := &Runner{Scale: r.Scale, InstrPerCore: r.InstrPerCore, Seed: r.Seed, Subset: r.Subset, Prefetch: true}
+	pf := r.clone()
+	pf.Prefetch = true
+	r.mustSweep(withBaseline(MainDesigns), []int{1})
+	pf.mustSweep(withBaseline(MainDesigns), []int{1})
 	for _, d := range MainDesigns {
 		base := stats.Geomean(r.AllSpeedups(d, 1))
 		with := stats.Geomean(pf.AllSpeedups(d, 1))
@@ -159,6 +187,7 @@ func Detail(r *Runner) []Table {
 			return f2(stats.Ratio(r.Result(wl, d, 1).DynamicEnergyNJ(), base.DynamicEnergyNJ()))
 		}},
 	}
+	r.mustSweep(withBaseline(MainDesigns), []int{1})
 	var out []Table
 	for _, m := range metrics {
 		t := Table{Title: "Per-benchmark " + m.name + " (1:16 NM)",

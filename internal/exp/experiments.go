@@ -16,6 +16,11 @@ var Fig1Lines = []int{64, 128, 256, 512, 1024, 2048, 4096}
 func Fig1(r *Runner) (Table, map[int]float64) {
 	t := Table{Title: "Figure 1: wasted DRAM-cache data vs line size (paper: 0%,6%,10%,15%,19%,22%,26%)",
 		Header: []string{"LineBytes", "Wasted"}}
+	designs := make([]string, len(Fig1Lines))
+	for i, line := range Fig1Lines {
+		designs[i] = fmt.Sprintf("IDEAL-%d", line)
+	}
+	r.mustSweep(designs, []int{1})
 	out := make(map[int]float64, len(Fig1Lines))
 	for _, line := range Fig1Lines {
 		var fr []float64
@@ -47,6 +52,7 @@ func Fig2Designs() []string {
 func Fig2(r *Runner) (Table, map[string][3]float64) {
 	t := Table{Title: "Figure 2: min/max/geomean speedup of migration and DRAM-cache designs (1:16 NM)",
 		Header: []string{"Design", "Min", "Max", "Geomean"}}
+	r.mustSweep(withBaseline(Fig2Designs()), []int{1})
 	out := make(map[string][3]float64)
 	for _, d := range Fig2Designs() {
 		sp := r.AllSpeedups(d, 1)
@@ -77,6 +83,7 @@ func Tab1(scale int) Table {
 func Tab2(r *Runner) Table {
 	t := Table{Title: "Table 2: benchmark characteristics (measured on baseline, scaled system)",
 		Header: []string{"Benchmark", "Class", "Kind", "MPKI", "PaperMPKI", "Footprint(MB)", "Traffic(MB)"}}
+	r.mustSweep([]string{"Baseline"}, []int{1})
 	for _, wl := range r.Workloads() {
 		res := r.Result(wl, "Baseline", 1)
 		fpMB := wl.PaperFootprintGB * 1024 / float64(r.Scale)
@@ -132,6 +139,11 @@ func Fig11Points() []DSEPoint {
 func Fig11(r *Runner) (Table, map[string]float64) {
 	t := Table{Title: "Figure 11: Hybrid2 design-space exploration (paper best: 64MB-2KB-256B)",
 		Header: []string{"Config", "Geomean speedup"}}
+	designs := []string{"Baseline"}
+	for _, p := range Fig11Points() {
+		designs = append(designs, fmt.Sprintf("H2DSE-%d-%d-%d", p.CacheMB, p.SectorKB, p.Line))
+	}
+	r.mustSweep(designs, []int{1})
 	out := make(map[string]float64)
 	for _, p := range Fig11Points() {
 		design := fmt.Sprintf("H2DSE-%d-%d-%d", p.CacheMB, p.SectorKB, p.Line)
@@ -167,6 +179,7 @@ func (r *Runner) classValues(metric func(wl workload.Spec) float64) []float64 {
 func Fig12(r *Runner, ratio16 int) (Table, map[string][]float64) {
 	t := Table{Title: fmt.Sprintf("Figure 12 (%d GB-scale NM, %d:16): geomean speedup by MPKI class", ratio16, ratio16),
 		Header: append([]string{"Design"}, classesAndAll...)}
+	r.mustSweep(withBaseline(MainDesigns), []int{ratio16})
 	out := make(map[string][]float64)
 	for _, d := range MainDesigns {
 		vals := r.classValues(func(wl workload.Spec) float64 { return r.Speedup(wl, d, ratio16) })
@@ -180,6 +193,7 @@ func Fig12(r *Runner, ratio16 int) (Table, map[string][]float64) {
 func Fig13(r *Runner) (Table, map[string]map[string]float64) {
 	t := Table{Title: "Figure 13: per-benchmark speedup over baseline (1:16 NM)",
 		Header: append([]string{"Benchmark"}, MainDesigns...)}
+	r.mustSweep(withBaseline(MainDesigns), []int{1})
 	out := make(map[string]map[string]float64)
 	for _, wl := range r.Workloads() {
 		row := []string{wl.Name}
@@ -203,6 +217,7 @@ var Fig14Variants = []string{"H2-CacheOnly", "H2-MigrAll", "H2-MigrNone", "H2-No
 func Fig14(r *Runner) (Table, map[string]float64) {
 	t := Table{Title: "Figure 14: Hybrid2 performance factors breakdown (1:16 NM)",
 		Header: []string{"Variant", "Geomean speedup"}}
+	r.mustSweep(withBaseline(Fig14Variants), []int{1})
 	out := make(map[string]float64)
 	for _, d := range Fig14Variants {
 		g := stats.Geomean(r.AllSpeedups(d, 1))
@@ -217,6 +232,7 @@ func Fig14(r *Runner) (Table, map[string]float64) {
 func Fig15(r *Runner) (Table, map[string][]float64) {
 	t := Table{Title: "Figure 15: requests served from NM (1:16 NM)",
 		Header: append([]string{"Design"}, classesAndAll...)}
+	r.mustSweep(MainDesigns, []int{1})
 	out := make(map[string][]float64)
 	for _, d := range MainDesigns {
 		vals := r.classValues(func(wl workload.Spec) float64 {
@@ -232,6 +248,7 @@ func Fig15(r *Runner) (Table, map[string][]float64) {
 func Fig16(r *Runner) (Table, map[string][]float64) {
 	t := Table{Title: "Figure 16: normalized FM traffic (1:16 NM)",
 		Header: append([]string{"Design"}, classesAndAll...)}
+	r.mustSweep(withBaseline(MainDesigns), []int{1})
 	out := make(map[string][]float64)
 	for _, d := range MainDesigns {
 		vals := r.classValues(func(wl workload.Spec) float64 {
@@ -250,6 +267,7 @@ func Fig16(r *Runner) (Table, map[string][]float64) {
 func Fig17(r *Runner) (Table, map[string][]float64) {
 	t := Table{Title: "Figure 17: normalized NM traffic (1:16 NM)",
 		Header: append([]string{"Design"}, classesAndAll...)}
+	r.mustSweep(withBaseline(MainDesigns), []int{1})
 	out := make(map[string][]float64)
 	for _, d := range MainDesigns {
 		vals := r.classValues(func(wl workload.Spec) float64 {
@@ -268,6 +286,7 @@ func Fig17(r *Runner) (Table, map[string][]float64) {
 func Fig18(r *Runner) (Table, map[string][]float64) {
 	t := Table{Title: "Figure 18: normalized dynamic memory energy (1:16 NM)",
 		Header: append([]string{"Design"}, classesAndAll...)}
+	r.mustSweep(withBaseline(MainDesigns), []int{1})
 	out := make(map[string][]float64)
 	for _, d := range MainDesigns {
 		vals := r.classValues(func(wl workload.Spec) float64 {

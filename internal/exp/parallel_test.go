@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridmem/internal/workload"
+)
+
+// parallelPair returns two identically configured runners, one strictly
+// serial and one fanned out over 8 workers.
+func parallelPair() (serial, parallel *Runner) {
+	serial = tiny()
+	serial.Parallelism = 1
+	parallel = tiny()
+	parallel.Parallelism = 8
+	return serial, parallel
+}
+
+// TestParallelMatchesSerial asserts the core determinism guarantee of
+// the parallel engine: a sweep evaluated across workers produces results
+// identical to the same sweep evaluated serially, run by run.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial, par := parallelPair()
+	designs := withBaseline([]string{"HYBRID2", "MPOD", "TAGLESS", "DFC-512", "IDEAL-256"})
+	specs := serial.SweepSpecs(designs, []int{1, 2})
+	want, err := serial.ResultsParallel(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.ResultsParallel(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(got), len(specs))
+	}
+	for i := range specs {
+		if got[i] != want[i] {
+			t.Errorf("%s/%s/%d: parallel result differs from serial:\n%+v\n%+v",
+				specs[i].Workload.Name, specs[i].Design, specs[i].Ratio16, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelResultsInInputOrder pins the stable-ordering contract.
+func TestParallelResultsInInputOrder(t *testing.T) {
+	_, par := parallelPair()
+	specs := par.SweepSpecs([]string{"Baseline", "HYBRID2", "LGM"}, []int{1})
+	res, err := par.ResultsParallel(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		if res[i].Workload != s.Workload.Name {
+			t.Fatalf("slot %d holds workload %s, want %s", i, res[i].Workload, s.Workload.Name)
+		}
+	}
+}
+
+// TestParallelTableByteIdentical regenerates a Fig. 2-style table with a
+// serial and a parallel runner and requires byte-identical rendering.
+func TestParallelTableByteIdentical(t *testing.T) {
+	serial, par := parallelPair()
+	ts, _ := Fig2(serial)
+	tp, _ := Fig2(par)
+	if ts.String() != tp.String() {
+		t.Fatalf("serial and parallel Fig2 tables differ:\n--- serial ---\n%s--- parallel ---\n%s",
+			ts.String(), tp.String())
+	}
+	as, _ := Ablations(serial)
+	ap, _ := Ablations(par)
+	if as.String() != ap.String() {
+		t.Fatal("serial and parallel ablation tables differ")
+	}
+}
+
+// TestSweepBadDesignReturnsError checks that a malformed design name in
+// a sweep reports an error instead of panicking and taking the whole
+// parallel sweep down, and that the healthy runs still complete.
+func TestSweepBadDesignReturnsError(t *testing.T) {
+	_, par := parallelPair()
+	specs := par.SweepSpecs([]string{"Baseline", "BOGUS", "IDEAL-xyz", "HYBRID2"}, []int{1})
+	res, err := par.ResultsParallel(specs)
+	if err == nil {
+		t.Fatal("malformed designs produced no error")
+	}
+	for _, frag := range []string{"BOGUS", "xyz"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not identify %q", err, frag)
+		}
+	}
+	for i, s := range specs {
+		healthy := s.Design == "Baseline" || s.Design == "HYBRID2"
+		if healthy && res[i].Cycles == 0 {
+			t.Errorf("healthy run %s/%s died with the sweep", s.Workload.Name, s.Design)
+		}
+		if !healthy && res[i].Cycles != 0 {
+			t.Errorf("malformed run %s produced a result", s.Design)
+		}
+	}
+}
+
+// TestConstructorPanicBecomesError covers a well-formed design name
+// whose parameters a constructor rejects by panicking (here a sector
+// size that is not a multiple of the line size): the panic must settle
+// as this run's error — not kill a worker goroutine, and not poison the
+// memoized entry into replaying a zero result on retry.
+func TestConstructorPanicBecomesError(t *testing.T) {
+	r := tiny()
+	r.Parallelism = 4
+	wl := r.Workloads()[0]
+	const bad = "H2DSE-64-2-100" // 2 KB sectors, 100 B lines: invalid
+	if _, err := r.ResultErr(wl, bad, 1); err == nil {
+		t.Fatal("invalid DSE parameters produced no error")
+	}
+	res, err := r.ResultErr(wl, bad, 1) // retry must not see a zero result
+	if err == nil {
+		t.Fatalf("retry lost the error, returned %+v", res)
+	}
+	// And inside a parallel sweep it must not crash the process.
+	specs := r.SweepSpecs([]string{"Baseline", bad, "HYBRID2"}, []int{1})
+	out, err := r.ResultsParallel(specs)
+	if err == nil {
+		t.Fatal("sweep with invalid design reported no error")
+	}
+	for i, s := range specs {
+		if s.Design != bad && out[i].Cycles == 0 {
+			t.Errorf("healthy run %s/%s died with the panicking design", s.Workload.Name, s.Design)
+		}
+	}
+}
+
+// TestSingleflightCoalesces hammers one cache key from many goroutines
+// and verifies they all settle on a single memoized run.
+func TestSingleflightCoalesces(t *testing.T) {
+	r := tiny()
+	wl := r.Workloads()[0]
+	const callers = 16
+	results := make([]uint64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.ResultErr(wl, "HYBRID2", 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = uint64(res.Cycles)
+		}(i)
+	}
+	wg.Wait()
+	if len(r.cache) != 1 {
+		t.Fatalf("%d cache entries after %d concurrent calls for one key", len(r.cache), callers)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw %d cycles, caller 0 saw %d", i, results[i], results[0])
+		}
+	}
+}
+
+// TestParallelSweepSpeedup measures the wall-clock benefit of the worker
+// pool on a Fig. 2-style multi-design sweep: with >= 4 workers on >= 4
+// CPUs the parallel sweep must finish at least twice as fast as the
+// serial one. Skipped on smaller machines, where there is no hardware
+// parallelism to harvest (the determinism tests above still cover
+// correctness there); BenchmarkSweepSerial/BenchmarkSweepParallel give
+// the full comparison on any machine.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 || runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup test, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	mkRunner := func(parallelism int) *Runner {
+		r := NewRunner()
+		r.InstrPerCore = 120_000
+		all := workload.Specs()
+		for i := 0; i < len(all); i += 3 {
+			r.Subset = append(r.Subset, all[i])
+		}
+		r.Parallelism = parallelism
+		return r
+	}
+	designs := withBaseline(Fig2Designs())
+
+	serial := mkRunner(1)
+	start := time.Now()
+	if err := serial.Sweep(designs, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	serialTime := time.Since(start)
+
+	par := mkRunner(0) // all CPUs, >= 4 here
+	start = time.Now()
+	if err := par.Sweep(designs, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	parTime := time.Since(start)
+
+	speedup := float64(serialTime) / float64(parTime)
+	t.Logf("serial %v, parallel %v, speedup %.2fx on %d CPUs", serialTime, parTime, speedup, runtime.NumCPU())
+	if speedup < 2 {
+		t.Errorf("parallel sweep speedup %.2fx, want >= 2x on %d CPUs", speedup, runtime.NumCPU())
+	}
+}

@@ -2,14 +2,19 @@
 // figure of the evaluation (Figures 1-2, Table 1-2, Figures 11-18), shared
 // by cmd/experiments and the benchmark harness. A Runner memoizes
 // (workload, design, NM-ratio) runs so figures built from the same sweep
-// (12, 13, 15-18) reuse results.
+// (12, 13, 15-18) reuse results, and evaluates independent runs across a
+// worker pool (see ResultsParallel and Sweep) so regenerating the
+// evaluation scales with the machine's cores.
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"hybridmem/internal/baselines/banshee"
 	"hybridmem/internal/baselines/cameo"
@@ -47,8 +52,21 @@ type Runner struct {
 	Prefetch bool
 	// Workload subset; nil means all 30.
 	Subset []workload.Spec
+	// Parallelism bounds the workers used by ResultsParallel and Sweep;
+	// <= 0 means GOMAXPROCS. 1 forces strictly serial execution.
+	Parallelism int
 
-	cache map[string]sim.Result
+	mu    sync.Mutex
+	cache map[string]*runFuture
+}
+
+// runFuture is one memoized run: the first caller executes the simulation
+// under the Once, every concurrent duplicate blocks on the same Once and
+// then reads the settled result — a singleflight per cache key.
+type runFuture struct {
+	once sync.Once
+	res  sim.Result
+	err  error
 }
 
 // NewRunner returns a runner at the default scale and instruction budget.
@@ -76,6 +94,27 @@ func (r *Runner) Workloads() []workload.Spec {
 	return workload.Specs()
 }
 
+// workers resolves the effective worker count.
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clone returns a runner with the same knobs but its own memo cache —
+// used by studies that vary a knob (seed, prefetcher) per sub-sweep.
+func (r *Runner) clone() *Runner {
+	return &Runner{
+		Scale:        r.Scale,
+		InstrPerCore: r.InstrPerCore,
+		Seed:         r.Seed,
+		Prefetch:     r.Prefetch,
+		Subset:       r.Subset,
+		Parallelism:  r.Parallelism,
+	}
+}
+
 // system resolves the scaled system for an NM:FM ratio of ratio16:16.
 func (r *Runner) system(ratio16 int) config.System {
 	sys := config.Scaled(r.Scale, ratio16)
@@ -99,10 +138,13 @@ func (r *Runner) system(ratio16 int) config.System {
 //	HYBRID2                  the full design
 //	H2-CacheOnly | H2-MigrAll | H2-MigrNone | H2-NoRemap   ablations
 //	H2DSE-<cacheMB>-<sectorKB>-<line>                      Fig. 11 points
-func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *memsys.Device, *memsys.Device) {
+//
+// Malformed names return an error so one bad spec fails its run, not a
+// whole parallel sweep.
+func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *memsys.Device, *memsys.Device, error) {
 	fm := memsys.New(memsys.DDR4Config())
 	if name == "Baseline" {
-		return flat.NewFMOnly(fm), nil, fm
+		return flat.NewFMOnly(fm), nil, fm, nil
 	}
 	nm := memsys.New(memsys.HBM2Config())
 	remapEntries := int(sys.Hybrid2CacheBytes() / config.SectorBytes)
@@ -115,40 +157,46 @@ func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *
 		// get proportionally more migrations per (scaled) interval.
 		cfg.MaxMigrations = 16
 		cfg.MinCount = 3
-		return mempod.New(cfg, nm, fm), nm, fm
+		return mempod.New(cfg, nm, fm), nm, fm, nil
 	case name == "CHA":
-		return chameleon.New(chameleon.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), remapEntries, sys.Seed), nm, fm), nm, fm
+		return chameleon.New(chameleon.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), remapEntries, sys.Seed), nm, fm), nm, fm, nil
 	case name == "LGM":
 		cfg := lgm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed)
 		cfg.IntervalCycles = memtypes.Tick(sys.IntervalCycles())
 		cfg.Watermark = 32
-		return lgm.New(cfg, nm, fm), nm, fm
+		return lgm.New(cfg, nm, fm), nm, fm, nil
 	case name == "CAMEO":
-		return cameo.New(cameo.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm
+		return cameo.New(cameo.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm, nil
 	case name == "POM":
-		return chameleon.New(chameleon.PoM(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm
+		return chameleon.New(chameleon.PoM(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm, nil
 	case name == "SILC-FM":
-		return silcfm.New(silcfm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm
+		return silcfm.New(silcfm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm, nil
 	case name == "BANSHEE":
-		return banshee.New(banshee.Default(sys.NMBytes), nm, fm), nm, fm
+		return banshee.New(banshee.Default(sys.NMBytes), nm, fm), nm, fm, nil
 	case name == "TAGLESS":
-		return dramcache.New(dramcache.Tagless(sys.NMBytes), nm, fm), nm, fm
+		return dramcache.New(dramcache.Tagless(sys.NMBytes), nm, fm), nm, fm, nil
 	case name == "ALLOY":
-		return dramcache.New(dramcache.Alloy(sys.NMBytes), nm, fm), nm, fm
+		return dramcache.New(dramcache.Alloy(sys.NMBytes), nm, fm), nm, fm, nil
 	case name == "FOOTPRINT":
-		return footprint.New(footprint.Default(sys.NMBytes), nm, fm), nm, fm
+		return footprint.New(footprint.Default(sys.NMBytes), nm, fm), nm, fm, nil
 	case name == "DFC":
-		return dramcache.New(dramcache.DFC(sys.NMBytes, 1024), nm, fm), nm, fm
+		return dramcache.New(dramcache.DFC(sys.NMBytes, 1024), nm, fm), nm, fm, nil
 	case strings.HasPrefix(name, "DFC-"):
-		line := mustInt(name[len("DFC-"):])
-		return dramcache.New(dramcache.DFC(sys.NMBytes, line), nm, fm), nm, fm
+		line, err := parseInt(name[len("DFC-"):])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return dramcache.New(dramcache.DFC(sys.NMBytes, line), nm, fm), nm, fm, nil
 	case strings.HasPrefix(name, "IDEAL-"):
-		line := mustInt(name[len("IDEAL-"):])
-		return dramcache.New(dramcache.Ideal(sys.NMBytes, line), nm, fm), nm, fm
+		line, err := parseInt(name[len("IDEAL-"):])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return dramcache.New(dramcache.Ideal(sys.NMBytes, line), nm, fm), nm, fm, nil
 	case name == "HYBRID2":
 		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
 		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
-		return core.New(cfg, nm, fm), nm, fm
+		return core.New(cfg, nm, fm), nm, fm, nil
 	case strings.HasPrefix(name, "H2-"):
 		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
 		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
@@ -162,15 +210,19 @@ func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *
 		case "NoRemap":
 			cfg.Mode = core.NoRemapOverhead
 		default:
-			panic("exp: unknown Hybrid2 mode " + name)
+			return nil, nil, nil, errors.New("exp: unknown Hybrid2 mode " + name)
 		}
-		return core.New(cfg, nm, fm), nm, fm
+		return core.New(cfg, nm, fm), nm, fm, nil
 	case strings.HasPrefix(name, "H2ABL-"):
 		parts := strings.SplitN(name[len("H2ABL-"):], "-", 2)
 		if len(parts) != 2 {
-			panic("exp: bad ablation design " + name)
+			return nil, nil, nil, errors.New("exp: bad ablation design " + name)
 		}
-		knob, val := parts[0], mustInt(parts[1])
+		knob := parts[0]
+		val, err := parseInt(parts[1])
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
 		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
 		switch knob {
@@ -188,64 +240,201 @@ func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *
 			total := uint64(h.Sectors()) * uint64(cfg.SectorBytes)
 			freeBytes := total * uint64(val) / 1000
 			h.MarkFree(memtypes.Addr(total-freeBytes), freeBytes)
-			return h, nm, fm
+			return h, nm, fm, nil
 		default:
-			panic("exp: unknown ablation knob " + knob)
+			return nil, nil, nil, errors.New("exp: unknown ablation knob " + knob)
 		}
-		return core.New(cfg, nm, fm), nm, fm
+		return core.New(cfg, nm, fm), nm, fm, nil
 	case strings.HasPrefix(name, "H2DSE-"):
 		parts := strings.Split(name[len("H2DSE-"):], "-")
 		if len(parts) != 3 {
-			panic("exp: bad DSE design " + name)
+			return nil, nil, nil, errors.New("exp: bad DSE design " + name)
 		}
-		cacheMB, sectorKB, line := mustInt(parts[0]), mustInt(parts[1]), mustInt(parts[2])
+		cacheMB, err1 := parseInt(parts[0])
+		sectorKB, err2 := parseInt(parts[1])
+		line, err3 := parseInt(parts[2])
+		if err := errors.Join(err1, err2, err3); err != nil {
+			return nil, nil, nil, err
+		}
 		cfg := core.Default(sys.NMBytes, sys.FMBytes, uint64(cacheMB)<<20/uint64(sys.Scale), sys.Seed)
 		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
 		cfg.SectorBytes = sectorKB << 10
 		cfg.LineBytes = line
-		return core.New(cfg, nm, fm), nm, fm
+		return core.New(cfg, nm, fm), nm, fm, nil
 	}
-	panic("exp: unknown design " + name)
+	return nil, nil, nil, errors.New("exp: unknown design " + name)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func mustInt(s string) int {
+func parseInt(s string) (int, error) {
 	v, err := strconv.Atoi(s)
 	if err != nil {
-		panic("exp: bad integer in design name: " + s)
+		return 0, errors.New("exp: bad integer in design name: " + s)
 	}
-	return v
+	return v, nil
 }
 
-// Result runs (or recalls) one workload on one design at an NM ratio.
-func (r *Runner) Result(wl workload.Spec, design string, ratio16 int) sim.Result {
+// RunSpec identifies one independent simulation run of a sweep.
+type RunSpec struct {
+	Workload workload.Spec
+	Design   string
+	Ratio16  int
+}
+
+// future returns the singleflight slot for a run, creating it if absent.
+func (r *Runner) future(wl workload.Spec, design string, ratio16 int) *runFuture {
+	key := fmt.Sprintf("%s|%s|%d|%d|%v", wl.Name, design, ratio16, r.Seed, r.Prefetch)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[string]*runFuture)
+	}
+	f, ok := r.cache[key]
+	if !ok {
+		f = new(runFuture)
+		r.cache[key] = f
+	}
+	return f
+}
+
+// ResultErr runs (or recalls) one workload on one design at an NM ratio.
+// Duplicate in-flight runs coalesce: concurrent callers of the same
+// (workload, design, ratio) block on one simulation and share its result.
+func (r *Runner) ResultErr(wl workload.Spec, design string, ratio16 int) (sim.Result, error) {
 	if design == "Baseline" {
 		ratio16 = 1 // the baseline has no NM; one run serves all ratios
 	}
-	key := fmt.Sprintf("%s|%s|%d|%d|%v", wl.Name, design, ratio16, r.Seed, r.Prefetch)
-	if r.cache == nil {
-		r.cache = make(map[string]sim.Result)
+	f := r.future(wl, design, ratio16)
+	f.once.Do(func() {
+		// A panic here (e.g. a well-formed design name with invalid
+		// parameters rejected deep in a constructor) must neither kill a
+		// worker goroutine nor poison the Once into replaying a zero
+		// result: settle it as this key's error.
+		defer func() {
+			if p := recover(); p != nil {
+				f.err = fmt.Errorf("exp: run %s/%s: %v", wl.Name, design, p)
+			}
+		}()
+		sys := r.system(ratio16)
+		ms, nm, fm, err := r.build(design, sys)
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.res = sim.Run(wl, ms, nm, fm, sys)
+	})
+	return f.res, f.err
+}
+
+// Result is the panicking convenience form of ResultErr, for call sites
+// whose design names are statically known to be well-formed.
+func (r *Runner) Result(wl workload.Spec, design string, ratio16 int) sim.Result {
+	res, err := r.ResultErr(wl, design, ratio16)
+	if err != nil {
+		panic(err)
 	}
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	sys := r.system(ratio16)
-	ms, nm, fm := r.build(design, sys)
-	res := sim.Run(wl, ms, nm, fm, sys)
-	r.cache[key] = res
 	return res
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across the runner's
+// worker pool, serially when one worker suffices. Errors are joined in
+// index order; one failing index never aborts the others. A panic inside
+// fn settles as that index's error instead of escaping on a worker
+// goroutine, where no caller's recover could catch it.
+func (r *Runner) parallelFor(n int, fn func(i int) error) error {
+	call := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("exp: parallel run %d: %v", i, p)
+			}
+		}()
+		return fn(i)
+	}
+	errs := make([]error, n)
+	workers := min(r.workers(), n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = call(i)
+		}
+		return errors.Join(errs...)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = call(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ResultsParallel evaluates the given runs across the runner's worker
+// pool and returns their results in input order. Results are memoized
+// exactly like Result, so a parallel sweep followed by serial reads (the
+// figure generators' pattern) recomputes nothing. Execution is
+// deterministic per run — each simulation is self-contained — so results
+// are bit-identical to a serial evaluation regardless of scheduling. Runs
+// whose design name is malformed report errors (joined, one per bad run)
+// without aborting the rest of the sweep; their result slots are zero.
+func (r *Runner) ResultsParallel(specs []RunSpec) ([]sim.Result, error) {
+	out := make([]sim.Result, len(specs))
+	err := r.parallelFor(len(specs), func(i int) error {
+		var err error
+		out[i], err = r.ResultErr(specs[i].Workload, specs[i].Design, specs[i].Ratio16)
+		return err
+	})
+	return out, err
+}
+
+// SweepSpecs pre-enumerates the (workload × design × ratio) cross
+// product of a sweep over this runner's workloads, in deterministic
+// design-major order.
+func (r *Runner) SweepSpecs(designs []string, ratios []int) []RunSpec {
+	wls := r.Workloads()
+	specs := make([]RunSpec, 0, len(designs)*len(ratios)*len(wls))
+	for _, d := range designs {
+		for _, ratio := range ratios {
+			for _, wl := range wls {
+				specs = append(specs, RunSpec{Workload: wl, Design: d, Ratio16: ratio})
+			}
+		}
+	}
+	return specs
+}
+
+// Sweep evaluates every (workload, design, ratio) combination in
+// parallel, warming the memo cache so subsequent Result calls are free.
+func (r *Runner) Sweep(designs []string, ratios []int) error {
+	_, err := r.ResultsParallel(r.SweepSpecs(designs, ratios))
+	return err
+}
+
+// mustSweep pre-warms a figure generator's run set. The generators only
+// sweep statically well-formed design names, so an error here is a bug.
+func (r *Runner) mustSweep(designs []string, ratios []int) {
+	if err := r.Sweep(designs, ratios); err != nil {
+		panic(err)
+	}
+}
+
+// withBaseline prepends the no-NM baseline to a design list: every
+// speedup-reporting figure needs it as the normalization point.
+func withBaseline(designs []string) []string {
+	return append([]string{"Baseline"}, designs...)
 }
 
 // RunTrace replays a captured trace (see internal/trace) on a design at
 // an NM ratio. mlp bounds per-core overlapped misses. Trace runs are not
 // memoized.
-func (r *Runner) RunTrace(name string, rd io.Reader, design string, ratio16, mlp int) (sim.Result, error) {
+func (r *Runner) RunTrace(name string, rd io.Reader, design string, ratio16, mlp int) (res sim.Result, err error) {
 	tr, err := trace.Read(rd, config.Cores)
 	if err != nil {
 		return sim.Result{}, err
@@ -254,8 +443,16 @@ func (r *Runner) RunTrace(name string, rd io.Reader, design string, ratio16, mlp
 	for i := range srcs {
 		srcs[i] = trace.NewReplayer(tr.Cores[i])
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: trace run %s/%s: %v", name, design, p)
+		}
+	}()
 	sys := r.system(ratio16)
-	ms, nm, fm := r.build(design, sys)
+	ms, nm, fm, err := r.build(design, sys)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	return sim.RunSources(name, srcs, mlp, ms, nm, fm, sys), nil
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -75,6 +76,16 @@ func (t Table) CSV() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// JSON renders the table as an indented JSON object with title, header
+// and rows, for machine consumption of experiment results.
+func (t Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Header, t.Rows}, "", "  ")
 }
 
 // Slug returns a filesystem-friendly name derived from the title.

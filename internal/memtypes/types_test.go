@@ -1,0 +1,49 @@
+package memtypes
+
+import "testing"
+
+func TestTrafficTotals(t *testing.T) {
+	s := MemStats{
+		NMReadBytes: 100, NMWriteBytes: 30,
+		FMReadBytes: 500, FMWriteBytes: 70,
+	}
+	if got := s.NMTraffic(); got != 130 {
+		t.Errorf("NMTraffic = %d, want 130", got)
+	}
+	if got := s.FMTraffic(); got != 570 {
+		t.Errorf("FMTraffic = %d, want 570", got)
+	}
+}
+
+func TestTrafficZero(t *testing.T) {
+	var s MemStats
+	if s.NMTraffic() != 0 || s.FMTraffic() != 0 {
+		t.Errorf("empty stats report traffic: %+v", s)
+	}
+}
+
+func TestWastedFrac(t *testing.T) {
+	cases := []struct {
+		fetched, used uint64
+		want          float64
+	}{
+		{0, 0, 0},     // nothing fetched: defined as 0, not NaN
+		{100, 100, 0}, // everything used
+		{100, 25, 0.75},
+		{4096, 0, 1}, // nothing used
+	}
+	for _, c := range cases {
+		s := MemStats{FetchedBytes: c.fetched, UsedBytes: c.used}
+		if got := s.WastedFrac(); got != c.want {
+			t.Errorf("WastedFrac(fetched=%d, used=%d) = %v, want %v", c.fetched, c.used, got, c.want)
+		}
+	}
+}
+
+func TestCPULineGranularity(t *testing.T) {
+	// The whole simulator assumes 64 B processor lines; several designs
+	// derive vector sizes from it, so a silent change must fail loudly.
+	if CPULineBytes != 64 {
+		t.Fatalf("CPULineBytes = %d, want 64", CPULineBytes)
+	}
+}
