@@ -1,0 +1,91 @@
+// Command bench2json converts `go test -bench` text output into a JSON
+// artifact for the CI performance trajectory. The input text is kept
+// verbatim in the "raw" field — the exact benchstat input format — so
+// downstream tooling can diff runs with benchstat while dashboards read
+// the parsed metrics:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.txt
+//	bench2json < bench.txt > BENCH_results.json
+//	jq -r .raw BENCH_results.json | benchstat -
+//
+// Each "Benchmark..." line parses into name, iteration count and a
+// metric map (ns/op, MB/s and every custom b.ReportMetric unit).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line, attributed to the package whose
+// "pkg:" header preceded it.
+type Benchmark struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole artifact.
+type Output struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Raw        string            `json:"raw"`
+}
+
+func main() {
+	data, err := io.ReadAll(bufio.NewReader(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	out := Output{Context: map[string]string{}, Benchmarks: []Benchmark{}, Raw: string(data)}
+
+	pkg := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		// Context lines: "goos: linux", "pkg: hybridmem", "cpu: ...".
+		// "pkg" repeats per package in a ./... run and tags the
+		// benchmarks that follow it; the rest is global context.
+		if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") && !strings.HasPrefix(k, "Benchmark") {
+			if k == "pkg" {
+				pkg = v
+			} else {
+				out.Context[k] = v
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || len(f)%2 != 0 {
+			continue // not a "name iters (value unit)+" result line
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 //	experiments -run fig12,fig13 # selected artifacts
 //	experiments -quick           # subsampled workloads, shorter streams
 //	experiments -parallel 1      # force serial execution
+//	experiments -designs         # the design registry as a Markdown table
 //
 // Independent simulation runs fan out across -parallel workers (all CPUs
 // by default); results are deterministic and identical to a serial run.
@@ -21,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"hybridmem"
 	"hybridmem/internal/exp"
 )
 
@@ -34,7 +36,13 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation runs evaluated concurrently")
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	jsonDir := flag.String("json", "", "also write each artifact as JSON into this directory")
+	designs := flag.Bool("designs", false, "print the design registry as a Markdown table (the README's Designs section), then exit")
 	flag.Parse()
+
+	if *designs {
+		printDesignTable()
+		return
+	}
 
 	var r *exp.Runner
 	if *quick {
@@ -157,4 +165,18 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("-- %d artifact(s) in %v --\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// printDesignTable renders the registry as the Markdown table the README
+// embeds, so the docs and the engine share one source of truth.
+func printDesignTable() {
+	fmt.Println("| Design | Kind | Description |")
+	fmt.Println("| --- | --- | --- |")
+	for _, d := range hybridmem.AllDesigns() {
+		doc := d.Doc
+		if len(d.Params) > 0 {
+			doc += fmt.Sprintf(" (e.g. `%s`)", d.Example)
+		}
+		fmt.Printf("| `%s` | %s | %s |\n", d.Grammar, d.Kind, doc)
+	}
 }

@@ -7,12 +7,14 @@
 //	hybrid2sim -design TAGLESS -workload omnetpp -ratio 4 -instr 2000000
 //	hybrid2sim -design HYBRID2 -trace mcf.trace -mlp 2
 //	hybrid2sim -list
+//	hybrid2sim -designs     # full design grammar with parameter ranges
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hybridmem"
 	"hybridmem/internal/exp"
@@ -28,12 +30,20 @@ func main() {
 	traceFile := flag.String("trace", "", "replay a captured trace file instead of a synthetic workload")
 	mlp := flag.Int("mlp", 4, "per-core memory-level parallelism for trace replay")
 	list := flag.Bool("list", false, "list designs and workloads, then exit")
+	designs := flag.Bool("designs", false, "list every registered design with its grammar and parameter ranges, then exit")
 	flag.Parse()
 
+	if *designs {
+		printDesigns()
+		return
+	}
 	if *list {
-		fmt.Println("Designs:", hybridmem.Designs())
-		fmt.Println("  (also: IDEAL-<line>, DFC-<line>, H2-CacheOnly, H2-MigrAll,")
-		fmt.Println("   H2-MigrNone, H2-NoRemap, H2DSE-<cacheMB>-<sectorKB>-<lineB>)")
+		var grammars []string
+		for _, d := range hybridmem.AllDesigns() {
+			grammars = append(grammars, d.Grammar)
+		}
+		fmt.Println("Designs:", strings.Join(grammars, " "))
+		fmt.Println("  (-designs explains every parameter and its range)")
 		fmt.Println("Workloads:", hybridmem.Workloads())
 		return
 	}
@@ -87,4 +97,33 @@ func main() {
 	fmt.Printf("FM traffic      %.1f MB\n", float64(res.FMTrafficBytes)/(1<<20))
 	fmt.Printf("migrations      %d\n", res.Migrations)
 	fmt.Printf("dynamic energy  %.2f mJ\n", res.EnergyNanoJ/1e6)
+}
+
+// printDesigns renders the registry listing: one block per design family
+// with its grammar, kind, doc and per-parameter ranges.
+func printDesigns() {
+	for _, d := range hybridmem.AllDesigns() {
+		fmt.Printf("%-44s %s (%s)\n", d.Grammar, d.Doc, d.Kind)
+		for _, p := range d.Params {
+			constraint := ""
+			switch {
+			case p.Enum != nil:
+				constraint = strings.Join(p.Enum, "|")
+			case p.Max > 0:
+				constraint = fmt.Sprintf("%d..%d", p.Min, p.Max)
+			default:
+				constraint = fmt.Sprintf(">= %d", p.Min)
+			}
+			if p.Pow2 {
+				constraint += ", power of two"
+			}
+			if p.Optional {
+				constraint += fmt.Sprintf(", default %d", p.Default)
+			}
+			fmt.Printf("    <%s>  %s (%s)\n", p.Name, p.Doc, constraint)
+		}
+		if len(d.Params) > 0 {
+			fmt.Printf("    e.g. %s\n", d.Example)
+		}
+	}
 }

@@ -1,0 +1,35 @@
+// Design catalog: enumerate every registered memory organization through
+// hybridmem.AllDesigns — the same registry the engine and the CLIs use —
+// and run each family's example design on one workload. Nothing here
+// hard-codes a design list, so a newly registered organization shows up
+// automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridmem"
+)
+
+func main() {
+	cfg := hybridmem.DefaultConfig()
+	cfg.InstrPerCore = 100_000
+
+	base, err := hybridmem.Run("Baseline", "mcf", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-38s %-9s %8s %9s\n", "design (grammar)", "kind", "speedup", "servedNM")
+	for _, d := range hybridmem.AllDesigns() {
+		if err := hybridmem.ValidateDesign(d.Example); err != nil {
+			log.Fatal(err) // every registered example must parse
+		}
+		res, err := hybridmem.Run(d.Example, "mcf", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := float64(base.Cycles) / float64(res.Cycles)
+		fmt.Printf("%-38s %-9s %7.2fx %8.0f%%\n", d.Grammar, d.Kind, sp, res.ServedNMFrac*100)
+	}
+}

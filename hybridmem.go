@@ -4,16 +4,25 @@
 //
 // The package simulates an 8-core processor with a shared LLC in front of
 // a two-level memory: a high-bandwidth 3D-stacked near memory (HBM2) and
-// a high-capacity far memory (DDR4). Seven memory organizations can be
-// plugged under the LLC:
+// a high-capacity far memory (DDR4). The memory organizations plugged
+// under the LLC come from a self-registering design registry
+// (internal/design): AllDesigns lists every registered family with its
+// name grammar, typed parameters and ranges, and ValidateDesign resolves
+// any design string without running a simulation. The built-in families:
 //
 //   - Baseline: far memory only (the paper's normalization point)
 //   - MPOD, CHA, LGM: flat-address-space migration schemes
 //     (MemPod, Chameleon, LLC-Guided Migration)
-//   - TAGLESS, DFC, IDEAL-<line>: DRAM caches
+//   - TAGLESS, DFC[-<lineB>], IDEAL-<lineB>: DRAM caches
+//   - CAMEO, POM, SILC-FM, ALLOY, FOOTPRINT, BANSHEE: §2 related work
 //   - HYBRID2: the paper's contribution, plus its Fig. 14 ablations
-//     (H2-CacheOnly, H2-MigrAll, H2-MigrNone, H2-NoRemap) and Fig. 11
-//     design points (H2DSE-<cacheMB>-<sectorKB>-<lineB>)
+//     (H2-CacheOnly, H2-MigrAll, H2-MigrNone, H2-NoRemap), Fig. 11
+//     design points (H2DSE-<cacheMB>-<sectorKB>-<lineB>) and
+//     sensitivity sweeps (H2ABL-<knob>-<val>)
+//
+// Design names parse before anything runs: malformed parameters (out of
+// range, not a power of two, unknown knobs) are errors from Run, RunAll
+// and ValidateDesign, never panics mid-simulation.
 //
 // Thirty synthetic workloads mirror the paper's Table 2 (21 SPEC2017 +
 // 9 NAS benchmarks). All runs are deterministic for a given seed.
@@ -33,6 +42,7 @@ import (
 	"io"
 
 	"hybridmem/internal/config"
+	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/sim"
 	"hybridmem/internal/workload"
@@ -95,9 +105,81 @@ func Workloads() []string {
 
 // Designs returns the names of the six main designs of the evaluation
 // plus the baseline. Additional parameterized names are accepted by Run;
-// see the package documentation.
+// AllDesigns lists every registered family with its full grammar.
 func Designs() []string {
 	return append([]string{"Baseline"}, exp.MainDesigns...)
+}
+
+// DesignParam describes one typed parameter of a design-name grammar.
+type DesignParam struct {
+	Name string
+	Doc  string
+	// Min and Max bound integer values inclusively; Max <= 0 means
+	// unbounded above. Ignored when Enum is set.
+	Min, Max int
+	// Pow2 additionally requires a positive power of two.
+	Pow2 bool
+	// Enum non-nil lists the admissible tokens of a textual parameter.
+	Enum []string
+	// Optional parameters may be omitted and then take Default.
+	Optional bool
+	Default  int
+}
+
+// DesignInfo describes one registered memory-organization family.
+type DesignInfo struct {
+	// Name is the base name ("DFC"); Grammar the full name syntax
+	// ("DFC[-<lineB>]"); Example a runnable sample ("DFC-1024").
+	Name    string
+	Grammar string
+	Example string
+	Doc     string
+	// Kind is "baseline", "main" (the paper's Figures 12-18), "extra"
+	// (§2 related work) or "variant" (parameterized studies).
+	Kind string
+	// NeedsNM reports whether the design uses near memory; Config's
+	// NMRatio16 is irrelevant when it is false.
+	NeedsNM bool
+	Params  []DesignParam
+}
+
+// AllDesigns lists every registered design family in the paper's order —
+// the same source of truth the engine, cmd/experiments -designs and
+// cmd/hybrid2sim -designs use.
+func AllDesigns() []DesignInfo {
+	infos := design.AllInfos()
+	out := make([]DesignInfo, len(infos))
+	for i, info := range infos {
+		params := make([]DesignParam, len(info.Params))
+		for j, p := range info.Params {
+			params[j] = DesignParam{
+				Name: p.Name, Doc: p.Doc,
+				Min: p.Min, Max: p.Max, Pow2: p.Pow2,
+				Enum:     append([]string(nil), p.Enum...),
+				Optional: p.Optional, Default: p.Default,
+			}
+		}
+		out[i] = DesignInfo{
+			Name:    info.Name,
+			Grammar: info.Grammar(),
+			Example: info.SampleName(),
+			Doc:     info.Doc,
+			Kind:    info.Kind.String(),
+			NeedsNM: info.NeedsNM,
+			Params:  params,
+		}
+	}
+	return out
+}
+
+// ValidateDesign resolves a design name against the registry without
+// running anything: nil means Run would accept it, an error pinpoints
+// the unknown name or the out-of-range parameter.
+func ValidateDesign(name string) error {
+	if _, err := design.Parse(name); err != nil {
+		return fmt.Errorf("hybridmem: %w", err)
+	}
+	return nil
 }
 
 // Run simulates one workload on one memory-system design and returns its
@@ -147,6 +229,11 @@ func RunAll(cfg Config, opts SweepOptions) ([]Result, error) {
 	names := opts.Workloads
 	if names == nil {
 		names = Workloads()
+	}
+	for _, d := range designs {
+		if err := ValidateDesign(d); err != nil {
+			return nil, err
+		}
 	}
 	specs := make([]exp.RunSpec, 0, len(designs)*len(names))
 	for _, d := range designs {

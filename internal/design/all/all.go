@@ -1,0 +1,19 @@
+// Package all links every built-in memory organization into the design
+// registry. Importing it (blank) is the only coupling between the
+// engine and the organization packages: each package self-registers from
+// an init function, so adding a design is a one-package change plus one
+// line here.
+package all
+
+import (
+	_ "hybridmem/internal/baselines/banshee"
+	_ "hybridmem/internal/baselines/cameo"
+	_ "hybridmem/internal/baselines/chameleon"
+	_ "hybridmem/internal/baselines/dramcache"
+	_ "hybridmem/internal/baselines/flat"
+	_ "hybridmem/internal/baselines/footprint"
+	_ "hybridmem/internal/baselines/lgm"
+	_ "hybridmem/internal/baselines/mempod"
+	_ "hybridmem/internal/baselines/silcfm"
+	_ "hybridmem/internal/core"
+)

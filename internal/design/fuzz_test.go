@@ -1,0 +1,56 @@
+package design_test
+
+import (
+	"testing"
+
+	"hybridmem/internal/config"
+	"hybridmem/internal/design"
+	_ "hybridmem/internal/design/all"
+)
+
+// FuzzParseDesign fuzzes the design-name grammar, seeded with every
+// registered base name and example. Properties: Parse never panics; a
+// name that parses resolves stably to the same family; and a parsed spec
+// builds without panicking — construction either succeeds or reports an
+// error for system-size constraints the grammar cannot see.
+func FuzzParseDesign(f *testing.F) {
+	for _, info := range design.AllInfos() {
+		f.Add(info.Name)
+		f.Add(info.SampleName())
+	}
+	f.Add("DFC-0")
+	f.Add("IDEAL--3")
+	f.Add("H2DSE-0-0-0")
+	f.Add("H2ABL-free-250")
+	f.Add("SILC-FM-3")
+	f.Add("Baseline-1")
+	f.Add("totally-unknown")
+	f.Add("")
+	f.Add("-")
+	f.Add("H2DSE-64-2-256-")
+
+	// A small scale keeps per-input construction cheap during fuzzing.
+	sys := config.Scaled(64, 1)
+	sys.InstrPerCore = 1
+
+	f.Fuzz(func(t *testing.T, name string) {
+		spec, err := design.Parse(name)
+		if err != nil {
+			return
+		}
+		again, err := design.Parse(spec.Name)
+		if err != nil {
+			t.Fatalf("accepted name %q failed to re-parse: %v", spec.Name, err)
+		}
+		if again.Info.Name != spec.Info.Name {
+			t.Fatalf("name %q resolved to %s then %s", name, spec.Info.Name, again.Info.Name)
+		}
+		ms, _, fm, err := spec.Build(sys)
+		if err != nil {
+			return // capacity constraints at this scale are legitimate
+		}
+		if ms == nil || fm == nil {
+			t.Fatalf("build of %q returned a nil system without an error", name)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridmem/internal/core"
+	"hybridmem/internal/design"
 	"hybridmem/internal/sim"
 	"hybridmem/internal/stats"
 	"hybridmem/internal/workload"
@@ -109,7 +110,7 @@ func PathBreakdown(r *Runner) (Table, map[string]float64) {
 	stats2b := make([]core.PathStats, len(wls))
 	err := r.parallelFor(len(wls), func(i int) error {
 		sys := r.system(1)
-		ms, nm, fm, err := r.build("HYBRID2", sys)
+		ms, nm, fm, err := design.Build("HYBRID2", sys)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmem/internal/design"
+	"hybridmem/internal/workload"
+)
+
+// TestRegistryBackedLists pins that the registry reproduces the engine's
+// pre-refactor hard-coded design lists.
+func TestRegistryBackedLists(t *testing.T) {
+	wantMain := "MPOD CHA LGM TAGLESS DFC HYBRID2"
+	if got := strings.Join(MainDesigns, " "); got != wantMain {
+		t.Fatalf("MainDesigns = %q, want %q", got, wantMain)
+	}
+	wantExtra := "CAMEO POM SILC-FM ALLOY FOOTPRINT BANSHEE"
+	if got := strings.Join(ExtraDesigns, " "); got != wantExtra {
+		t.Fatalf("ExtraDesigns = %q, want %q", got, wantExtra)
+	}
+}
+
+// TestRegistrySmokeEveryDesignRuns asserts that every registered family
+// builds via its example name and completes one short run — the
+// registry's executable contract.
+func TestRegistrySmokeEveryDesignRuns(t *testing.T) {
+	r := NewRunner()
+	r.InstrPerCore = 30_000
+	wl, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("no workload mcf")
+	}
+	for _, info := range design.AllInfos() {
+		name := info.SampleName()
+		res, err := r.ResultErr(wl, name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Cycles == 0 || res.Instructions == 0 {
+			t.Errorf("%s: empty result %+v", name, res)
+		}
+	}
+}
+
+// TestMalformedParamsFailAtParse is the satellite fix: names that are
+// shaped like designs but carry invalid parameters are parse-time errors
+// from ResultErr — nothing is simulated, cached or recovered from.
+func TestMalformedParamsFailAtParse(t *testing.T) {
+	r := tiny()
+	wl := r.Workloads()[0]
+	for _, name := range []string{"DFC-0", "IDEAL--3", "H2DSE-0-0-0", "H2ABL-bogus-1", "DFC-100"} {
+		_, err := r.ResultErr(wl, name, 1)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "design:") {
+			t.Errorf("%s: error %q did not come from the parser", name, err)
+		}
+	}
+	if len(r.cache) != 0 {
+		t.Fatalf("%d malformed runs were cached", len(r.cache))
+	}
+}
+
+// TestRunTraceEmptyTrace is the satellite fix: an empty or
+// whitespace/comment-only trace is an error, not a zero-cycle Result.
+func TestRunTraceEmptyTrace(t *testing.T) {
+	r := tiny()
+	for _, text := range []string{"", "   \n \t \n", "# comments only\n\n# more\n"} {
+		if _, err := r.RunTrace("t", strings.NewReader(text), "Baseline", 1, 2); err == nil {
+			t.Errorf("trace %q accepted", text)
+		}
+	}
+}
+
+// TestRunTraceRejectsMalformedDesign pins that trace replay validates the
+// design before reading any trace data.
+func TestRunTraceRejectsMalformedDesign(t *testing.T) {
+	r := tiny()
+	if _, err := r.RunTrace("t", strings.NewReader("0 1 40 R\n"), "DFC-0", 1, 2); err == nil {
+		t.Fatal("malformed design accepted by RunTrace")
+	}
+}

@@ -5,6 +5,14 @@
 // (12, 13, 15-18) reuse results, and evaluates independent runs across a
 // worker pool (see ResultsParallel and Sweep) so regenerating the
 // evaluation scales with the machine's cores.
+//
+// Designs are resolved through the self-registering catalog in
+// internal/design: the engine imports no internal/baselines package and
+// holds no design list or build switch of its own — names parse to
+// validated, buildable specs before any simulation state exists, and the
+// registry's metadata drives the figure design lists below. (The sole
+// organization dependency left is ablations.go reading Hybrid2's path
+// counters through internal/core.)
 package exp
 
 import (
@@ -12,36 +20,24 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 
-	"hybridmem/internal/baselines/banshee"
-	"hybridmem/internal/baselines/cameo"
-	"hybridmem/internal/baselines/chameleon"
-	"hybridmem/internal/baselines/dramcache"
-	"hybridmem/internal/baselines/flat"
-	"hybridmem/internal/baselines/footprint"
-	"hybridmem/internal/baselines/lgm"
-	"hybridmem/internal/baselines/mempod"
-	"hybridmem/internal/baselines/silcfm"
 	"hybridmem/internal/config"
-	"hybridmem/internal/core"
-	"hybridmem/internal/memsys"
-	"hybridmem/internal/memtypes"
+	"hybridmem/internal/design"
+	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
 	"hybridmem/internal/sim"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 )
 
-// MainDesigns are the six designs of Figures 12-18, in the paper's order.
-var MainDesigns = []string{"MPOD", "CHA", "LGM", "TAGLESS", "DFC", "HYBRID2"}
+// MainDesigns are the six designs of Figures 12-18, in the paper's order,
+// straight from the registry.
+var MainDesigns = design.Names(design.KindMain)
 
 // ExtraDesigns are related-work designs from the paper's §2 that are not
-// part of its evaluation figures but are implemented for completeness:
-// CAMEO (line-granularity group migration), ALLOY (direct-mapped TAD
-// cache) and FOOTPRINT (predicted-footprint page cache).
-var ExtraDesigns = []string{"CAMEO", "POM", "SILC-FM", "ALLOY", "FOOTPRINT", "BANSHEE"}
+// part of its evaluation figures but are implemented for completeness,
+// straight from the registry.
+var ExtraDesigns = design.Names(design.KindExtra)
 
 // Runner executes and memoizes simulation runs.
 type Runner struct {
@@ -124,155 +120,6 @@ func (r *Runner) system(ratio16 int) config.System {
 	return sys
 }
 
-// build constructs a design by name over fresh devices. Recognized names:
-//
-//	Baseline                 no NM
-//	MPOD | CHA | LGM         migration schemes of the paper's evaluation
-//	CAMEO | POM | SILC-FM    related-work migration schemes (§2.2)
-//	BANSHEE                  frequency-gated page cache (§2.1)
-//	TAGLESS                  tagless DRAM cache (4 KB pages)
-//	ALLOY                    direct-mapped TAD cache (64 B lines)
-//	FOOTPRINT                footprint cache (2 KB pages, predicted fills)
-//	DFC | DFC-<line>         decoupled fused cache (default 1 KB lines)
-//	IDEAL-<line>             ideal cache at a line size
-//	HYBRID2                  the full design
-//	H2-CacheOnly | H2-MigrAll | H2-MigrNone | H2-NoRemap   ablations
-//	H2DSE-<cacheMB>-<sectorKB>-<line>                      Fig. 11 points
-//
-// Malformed names return an error so one bad spec fails its run, not a
-// whole parallel sweep.
-func (r *Runner) build(name string, sys config.System) (memtypes.MemorySystem, *memsys.Device, *memsys.Device, error) {
-	fm := memsys.New(memsys.DDR4Config())
-	if name == "Baseline" {
-		return flat.NewFMOnly(fm), nil, fm, nil
-	}
-	nm := memsys.New(memsys.HBM2Config())
-	remapEntries := int(sys.Hybrid2CacheBytes() / config.SectorBytes)
-
-	switch {
-	case name == "MPOD":
-		cfg := mempod.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed)
-		cfg.IntervalCycles = memtypes.Tick(sys.IntervalCycles())
-		// The cap matches the paper's per-run NM turnover: shortened runs
-		// get proportionally more migrations per (scaled) interval.
-		cfg.MaxMigrations = 16
-		cfg.MinCount = 3
-		return mempod.New(cfg, nm, fm), nm, fm, nil
-	case name == "CHA":
-		return chameleon.New(chameleon.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), remapEntries, sys.Seed), nm, fm), nm, fm, nil
-	case name == "LGM":
-		cfg := lgm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed)
-		cfg.IntervalCycles = memtypes.Tick(sys.IntervalCycles())
-		cfg.Watermark = 32
-		return lgm.New(cfg, nm, fm), nm, fm, nil
-	case name == "CAMEO":
-		return cameo.New(cameo.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm, nil
-	case name == "POM":
-		return chameleon.New(chameleon.PoM(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm, nil
-	case name == "SILC-FM":
-		return silcfm.New(silcfm.Default(sys.NMBytes, sys.FMBytes, remapEntries, sys.Seed), nm, fm), nm, fm, nil
-	case name == "BANSHEE":
-		return banshee.New(banshee.Default(sys.NMBytes), nm, fm), nm, fm, nil
-	case name == "TAGLESS":
-		return dramcache.New(dramcache.Tagless(sys.NMBytes), nm, fm), nm, fm, nil
-	case name == "ALLOY":
-		return dramcache.New(dramcache.Alloy(sys.NMBytes), nm, fm), nm, fm, nil
-	case name == "FOOTPRINT":
-		return footprint.New(footprint.Default(sys.NMBytes), nm, fm), nm, fm, nil
-	case name == "DFC":
-		return dramcache.New(dramcache.DFC(sys.NMBytes, 1024), nm, fm), nm, fm, nil
-	case strings.HasPrefix(name, "DFC-"):
-		line, err := parseInt(name[len("DFC-"):])
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return dramcache.New(dramcache.DFC(sys.NMBytes, line), nm, fm), nm, fm, nil
-	case strings.HasPrefix(name, "IDEAL-"):
-		line, err := parseInt(name[len("IDEAL-"):])
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		return dramcache.New(dramcache.Ideal(sys.NMBytes, line), nm, fm), nm, fm, nil
-	case name == "HYBRID2":
-		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
-		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
-		return core.New(cfg, nm, fm), nm, fm, nil
-	case strings.HasPrefix(name, "H2-"):
-		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
-		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
-		switch name[len("H2-"):] {
-		case "CacheOnly":
-			cfg.Mode = core.CacheOnly
-		case "MigrAll":
-			cfg.Mode = core.MigrateAll
-		case "MigrNone":
-			cfg.Mode = core.MigrateNone
-		case "NoRemap":
-			cfg.Mode = core.NoRemapOverhead
-		default:
-			return nil, nil, nil, errors.New("exp: unknown Hybrid2 mode " + name)
-		}
-		return core.New(cfg, nm, fm), nm, fm, nil
-	case strings.HasPrefix(name, "H2ABL-"):
-		parts := strings.SplitN(name[len("H2ABL-"):], "-", 2)
-		if len(parts) != 2 {
-			return nil, nil, nil, errors.New("exp: bad ablation design " + name)
-		}
-		knob := parts[0]
-		val, err := parseInt(parts[1])
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		cfg := core.Default(sys.NMBytes, sys.FMBytes, sys.Hybrid2CacheBytes(), sys.Seed)
-		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
-		switch knob {
-		case "ctr": // access-counter width in bits (§3.7.1, paper: 9)
-			cfg.CounterBits = val
-		case "reset": // FM budget reset period in paper cycles (§3.7.3)
-			cfg.FMBudgetReset = memtypes.Tick(val / sys.Scale)
-		case "stack": // on-chip Free-FM-Stack entries (§3.3, paper: 16)
-			cfg.FreeStackOnChip = val
-		case "assoc": // XTA associativity (paper: 16)
-			cfg.Assoc = val
-		case "free": // §3.8 extension with val/1000 of memory hinted free
-			cfg.FreeSpaceAware = true
-			h := core.New(cfg, nm, fm)
-			total := uint64(h.Sectors()) * uint64(cfg.SectorBytes)
-			freeBytes := total * uint64(val) / 1000
-			h.MarkFree(memtypes.Addr(total-freeBytes), freeBytes)
-			return h, nm, fm, nil
-		default:
-			return nil, nil, nil, errors.New("exp: unknown ablation knob " + knob)
-		}
-		return core.New(cfg, nm, fm), nm, fm, nil
-	case strings.HasPrefix(name, "H2DSE-"):
-		parts := strings.Split(name[len("H2DSE-"):], "-")
-		if len(parts) != 3 {
-			return nil, nil, nil, errors.New("exp: bad DSE design " + name)
-		}
-		cacheMB, err1 := parseInt(parts[0])
-		sectorKB, err2 := parseInt(parts[1])
-		line, err3 := parseInt(parts[2])
-		if err := errors.Join(err1, err2, err3); err != nil {
-			return nil, nil, nil, err
-		}
-		cfg := core.Default(sys.NMBytes, sys.FMBytes, uint64(cacheMB)<<20/uint64(sys.Scale), sys.Seed)
-		cfg.FMBudgetReset = memtypes.Tick(sys.FMBudgetResetCycles())
-		cfg.SectorBytes = sectorKB << 10
-		cfg.LineBytes = line
-		return core.New(cfg, nm, fm), nm, fm, nil
-	}
-	return nil, nil, nil, errors.New("exp: unknown design " + name)
-}
-
-func parseInt(s string) (int, error) {
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		return 0, errors.New("exp: bad integer in design name: " + s)
-	}
-	return v, nil
-}
-
 // RunSpec identifies one independent simulation run of a sweep.
 type RunSpec struct {
 	Workload workload.Spec
@@ -281,8 +128,8 @@ type RunSpec struct {
 }
 
 // future returns the singleflight slot for a run, creating it if absent.
-func (r *Runner) future(wl workload.Spec, design string, ratio16 int) *runFuture {
-	key := fmt.Sprintf("%s|%s|%d|%d|%v", wl.Name, design, ratio16, r.Seed, r.Prefetch)
+func (r *Runner) future(wl workload.Spec, designName string, ratio16 int) *runFuture {
+	key := fmt.Sprintf("%s|%s|%d|%d|%v", wl.Name, designName, ratio16, r.Seed, r.Prefetch)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cache == nil {
@@ -297,25 +144,32 @@ func (r *Runner) future(wl workload.Spec, design string, ratio16 int) *runFuture
 }
 
 // ResultErr runs (or recalls) one workload on one design at an NM ratio.
-// Duplicate in-flight runs coalesce: concurrent callers of the same
-// (workload, design, ratio) block on one simulation and share its result.
-func (r *Runner) ResultErr(wl workload.Spec, design string, ratio16 int) (sim.Result, error) {
-	if design == "Baseline" {
-		ratio16 = 1 // the baseline has no NM; one run serves all ratios
+// The design name resolves through the registry before anything is
+// cached or simulated, so malformed names and out-of-range parameters
+// fail here as parse errors. Duplicate in-flight runs coalesce:
+// concurrent callers of the same (workload, design, ratio) block on one
+// simulation and share its result.
+func (r *Runner) ResultErr(wl workload.Spec, designName string, ratio16 int) (sim.Result, error) {
+	spec, err := design.Parse(designName)
+	if err != nil {
+		return sim.Result{}, err
 	}
-	f := r.future(wl, design, ratio16)
+	if !spec.Info.NeedsNM {
+		ratio16 = 1 // no NM: one run serves all ratios
+	}
+	f := r.future(wl, designName, ratio16)
 	f.once.Do(func() {
-		// A panic here (e.g. a well-formed design name with invalid
-		// parameters rejected deep in a constructor) must neither kill a
-		// worker goroutine nor poison the Once into replaying a zero
-		// result: settle it as this key's error.
+		// A panic here (e.g. from the simulation itself) must neither
+		// kill a worker goroutine nor poison the Once into replaying a
+		// zero result: settle it as this key's error. Construction-time
+		// panics are already converted to errors by Spec.Build.
 		defer func() {
 			if p := recover(); p != nil {
-				f.err = fmt.Errorf("exp: run %s/%s: %v", wl.Name, design, p)
+				f.err = fmt.Errorf("exp: run %s/%s: %v", wl.Name, designName, p)
 			}
 		}()
 		sys := r.system(ratio16)
-		ms, nm, fm, err := r.build(design, sys)
+		ms, nm, fm, err := spec.Build(sys)
 		if err != nil {
 			f.err = err
 			return
@@ -327,8 +181,8 @@ func (r *Runner) ResultErr(wl workload.Spec, design string, ratio16 int) (sim.Re
 
 // Result is the panicking convenience form of ResultErr, for call sites
 // whose design names are statically known to be well-formed.
-func (r *Runner) Result(wl workload.Spec, design string, ratio16 int) sim.Result {
-	res, err := r.ResultErr(wl, design, ratio16)
+func (r *Runner) Result(wl workload.Spec, designName string, ratio16 int) sim.Result {
+	res, err := r.ResultErr(wl, designName, ratio16)
 	if err != nil {
 		panic(err)
 	}
@@ -432,12 +286,24 @@ func withBaseline(designs []string) []string {
 }
 
 // RunTrace replays a captured trace (see internal/trace) on a design at
-// an NM ratio. mlp bounds per-core overlapped misses. Trace runs are not
-// memoized.
-func (r *Runner) RunTrace(name string, rd io.Reader, design string, ratio16, mlp int) (res sim.Result, err error) {
+// an NM ratio. mlp bounds per-core overlapped misses. A trace with no
+// records (empty or whitespace/comments only) is an error, not a
+// zero-cycle result. Trace runs are not memoized.
+func (r *Runner) RunTrace(name string, rd io.Reader, designName string, ratio16, mlp int) (res sim.Result, err error) {
+	spec, err := design.Parse(designName)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	tr, err := trace.Read(rd, config.Cores)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	records := 0
+	for _, c := range tr.Cores {
+		records += len(c)
+	}
+	if records == 0 {
+		return sim.Result{}, fmt.Errorf("exp: trace %s: no records", name)
 	}
 	srcs := make([]sim.Source, config.Cores)
 	for i := range srcs {
@@ -445,43 +311,44 @@ func (r *Runner) RunTrace(name string, rd io.Reader, design string, ratio16, mlp
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("exp: trace run %s/%s: %v", name, design, p)
+			err = fmt.Errorf("exp: trace run %s/%s: %v", name, designName, p)
 		}
 	}()
 	sys := r.system(ratio16)
-	ms, nm, fm, err := r.build(design, sys)
+	ms, nm, fm, err := spec.Build(sys)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	return sim.RunSources(name, srcs, mlp, ms, nm, fm, sys), nil
 }
 
-// Speedup returns design cycles relative to the no-NM baseline.
-func (r *Runner) Speedup(wl workload.Spec, design string, ratio16 int) float64 {
+// Speedup returns design cycles relative to the no-NM baseline, or 0 if
+// either run completed no cycles (the ratio would be meaningless).
+func (r *Runner) Speedup(wl workload.Spec, designName string, ratio16 int) float64 {
 	base := r.Result(wl, "Baseline", 1)
-	res := r.Result(wl, design, ratio16)
-	if res.Cycles == 0 {
+	res := r.Result(wl, designName, ratio16)
+	if res.Cycles == 0 || base.Cycles == 0 {
 		return 0
 	}
 	return float64(base.Cycles) / float64(res.Cycles)
 }
 
 // ClassSpeedups collects per-workload speedups of one MPKI class.
-func (r *Runner) ClassSpeedups(c workload.Class, design string, ratio16 int) []float64 {
+func (r *Runner) ClassSpeedups(c workload.Class, designName string, ratio16 int) []float64 {
 	var out []float64
 	for _, wl := range r.Workloads() {
 		if wl.Class == c {
-			out = append(out, r.Speedup(wl, design, ratio16))
+			out = append(out, r.Speedup(wl, designName, ratio16))
 		}
 	}
 	return out
 }
 
 // AllSpeedups collects per-workload speedups across all classes.
-func (r *Runner) AllSpeedups(design string, ratio16 int) []float64 {
+func (r *Runner) AllSpeedups(designName string, ratio16 int) []float64 {
 	var out []float64
 	for _, wl := range r.Workloads() {
-		out = append(out, r.Speedup(wl, design, ratio16))
+		out = append(out, r.Speedup(wl, designName, ratio16))
 	}
 	return out
 }
