@@ -6,6 +6,7 @@
 //	hybrid2sim -design HYBRID2 -workload lbm
 //	hybrid2sim -design TAGLESS -workload omnetpp -ratio 4 -instr 2000000
 //	hybrid2sim -design HYBRID2 -trace mcf.trace -mlp 2
+//	hybrid2sim -design HYBRID2 -trace mcf.htb.gz    # binary/gzip auto-detected
 //	hybrid2sim -list
 //	hybrid2sim -designs     # full design grammar with parameter ranges
 package main
@@ -20,7 +21,17 @@ import (
 	"hybridmem/internal/exp"
 )
 
+// main delegates to run so error paths return through the defers (an
+// os.Exit in the middle of main would skip them, leaking the trace file
+// descriptor and whatever else is pending).
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	design := flag.String("design", "HYBRID2", "memory-system design (see -list)")
 	wl := flag.String("workload", "lbm", "workload name from Table 2 (see -list)")
 	ratio := flag.Int("ratio", 1, "NM size in sixteenths of FM (1, 2 or 4 in the paper)")
@@ -28,14 +39,15 @@ func main() {
 	instr := flag.Uint64("instr", 1_000_000, "instructions per core")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	traceFile := flag.String("trace", "", "replay a captured trace file instead of a synthetic workload")
-	mlp := flag.Int("mlp", 4, "per-core memory-level parallelism for trace replay")
+	mlp := flag.Int("mlp", 4, "per-core memory-level parallelism for trace replay (>= 1)")
+	window := flag.Int("window", 0, "per-core lookahead window for streaming trace replay, in records (0 = default)")
 	list := flag.Bool("list", false, "list designs and workloads, then exit")
 	designs := flag.Bool("designs", false, "list every registered design with its grammar and parameter ranges, then exit")
 	flag.Parse()
 
 	if *designs {
 		printDesigns()
-		return
+		return nil
 	}
 	if *list {
 		var grammars []string
@@ -45,21 +57,28 @@ func main() {
 		fmt.Println("Designs:", strings.Join(grammars, " "))
 		fmt.Println("  (-designs explains every parameter and its range)")
 		fmt.Println("Workloads:", hybridmem.Workloads())
-		return
+		return nil
+	}
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", *scale)
+	}
+	if *ratio < 1 {
+		return fmt.Errorf("-ratio must be >= 1, got %d", *ratio)
 	}
 
 	if *traceFile != "" {
+		if *mlp < 1 {
+			return fmt.Errorf("-mlp must be >= 1, got %d", *mlp)
+		}
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
-		r := &exp.Runner{Scale: *scale, InstrPerCore: *instr, Seed: *seed}
+		r := &exp.Runner{Scale: *scale, InstrPerCore: *instr, Seed: *seed, TraceWindow: *window}
 		res, err := r.RunTrace(*traceFile, f, *design, *ratio, *mlp)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("trace           %s\n", res.Workload)
 		fmt.Printf("design          %s\n", res.Design)
@@ -69,19 +88,17 @@ func main() {
 		fmt.Printf("served from NM  %.1f%%\n", res.ServedNMFrac()*100)
 		fmt.Printf("NM traffic      %.1f MB\n", float64(res.Mem.NMTraffic())/(1<<20))
 		fmt.Printf("FM traffic      %.1f MB\n", float64(res.Mem.FMTraffic())/(1<<20))
-		return
+		return nil
 	}
 
 	cfg := hybridmem.Config{Scale: *scale, NMRatio16: *ratio, InstrPerCore: *instr, Seed: *seed}
 	res, err := hybridmem.Run(*design, *wl, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
-		os.Exit(1)
+		return err
 	}
 	speedup, err := hybridmem.Speedup(*design, *wl, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybrid2sim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	fmt.Printf("workload        %s\n", res.Workload)
@@ -97,6 +114,7 @@ func main() {
 	fmt.Printf("FM traffic      %.1f MB\n", float64(res.FMTrafficBytes)/(1<<20))
 	fmt.Printf("migrations      %d\n", res.Migrations)
 	fmt.Printf("dynamic energy  %.2f mJ\n", res.EnergyNanoJ/1e6)
+	return nil
 }
 
 // printDesigns renders the registry listing: one block per design family

@@ -1,16 +1,23 @@
 // Command tracegen exports one of the built-in synthetic workloads as a
-// text trace (see internal/trace for the format), so users can inspect
-// what the generator produces, post-process it, or use it as a template
-// for feeding captured traces back via `hybrid2sim -trace`.
+// memory trace (see internal/trace for the text and binary formats), so
+// users can inspect what the generator produces, post-process it with
+// traceconv, or use it as a template for feeding captured traces back
+// via `hybrid2sim -trace`.
+//
+// Records are streamed as they are generated — interleaved across cores
+// by cumulative instruction position, the capture-like global order —
+// so arbitrarily long traces are emitted in constant memory.
 //
 // Usage:
 //
 //	tracegen -workload mcf -instr 100000 > mcf.trace
+//	tracegen -workload mcf -instr 100000 -format binary -gz -o mcf.htb.gz
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hybridmem/internal/config"
@@ -19,31 +26,66 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	wl := flag.String("workload", "mcf", "workload to export")
 	instr := flag.Uint64("instr", 100_000, "instructions per core")
 	scale := flag.Int("scale", 16, "capacity scale divisor")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	format := flag.String("format", "text", "trace encoding: text or binary")
+	gz := flag.Bool("gz", false, "gzip-compress the output")
+	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
 	spec, ok := workload.ByName(*wl)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *wl)
-		os.Exit(1)
+		return fmt.Errorf("unknown workload %q", *wl)
 	}
-	tr := &trace.Trace{Cores: make([][]trace.Record, config.Cores)}
-	for core := 0; core < config.Cores; core++ {
-		s := workload.NewStream(spec, core, *scale, *instr, *seed)
-		for {
-			gap, addr, write, ok := s.Next()
-			if !ok {
-				break
-			}
-			tr.Cores[core] = append(tr.Cores[core], trace.Record{Gap: gap, Addr: addr, Write: write})
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", *scale)
+	}
+	f, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	var file *os.File
+	if *out != "" {
+		file, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+
+	srcs := make([]trace.Source, config.Cores)
+	for core := range srcs {
+		srcs[core] = workload.NewStream(spec, core, *scale, *instr, *seed)
+	}
+	sw := trace.NewStreamWriter(w, f, *gz)
+	sw.Comment(fmt.Sprintf("workload %s, %d instr/core, scale 1/%d, seed %d", *wl, *instr, *scale, *seed))
+	it := trace.NewInterleaver(srcs)
+	for {
+		core, rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if err := sw.Append(core, rec); err != nil {
+			return err
 		}
 	}
-	fmt.Printf("# workload %s, %d instr/core, scale 1/%d, seed %d\n", *wl, *instr, *scale, *seed)
-	if err := tr.Write(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	if err := sw.Close(); err != nil {
+		return err
 	}
+	if file != nil {
+		return file.Close()
+	}
+	return nil
 }

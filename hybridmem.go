@@ -324,20 +324,55 @@ func RunCustom(design string, w Workload, cfg Config) (Result, error) {
 	return fromSim(sr), nil
 }
 
-// RunTrace replays a captured memory trace on a design. The text format
-// (one record per line: core, instruction gap, hex address, R/W) is
-// documented in internal/trace; cmd/tracegen produces compatible files
-// from the built-in workloads. mlp bounds each core's overlapped misses
-// (traces carry no dependence information).
+// RunTrace replays a captured memory trace on a design. Both trace
+// formats (text and varint binary, plain or gzip-compressed) are
+// documented in internal/trace and auto-detected; cmd/tracegen produces
+// compatible files from the built-in workloads. mlp bounds each core's
+// overlapped misses (traces carry no dependence information).
+//
+// RunTrace is ReplayTrace with default streaming options.
 func RunTrace(design, name string, trace io.Reader, mlp int, cfg Config) (Result, error) {
-	if cfg.Scale < 1 || cfg.NMRatio16 < 1 {
-		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
-	}
 	if mlp < 1 {
 		mlp = 1
 	}
-	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
-	sr, err := r.RunTrace(name, trace, design, cfg.NMRatio16, mlp)
+	return ReplayTrace(design, name, trace, ReplayOptions{MLP: mlp}, cfg)
+}
+
+// ReplayOptions tunes streaming trace replay beyond the per-run Config.
+// The zero value picks sensible defaults.
+type ReplayOptions struct {
+	// MLP bounds each core's overlapped misses — traces carry no
+	// dependence information, so replay needs an explicit memory-level
+	// parallelism. <= 0 means 4.
+	MLP int
+	// Window bounds the streaming reader's per-core lookahead in
+	// records; <= 0 means the 65536-record default. Replay fails with an
+	// error if the trace's core interleaving is more skewed than the
+	// window (e.g. all of one core's records grouped before another's).
+	Window int
+}
+
+// ReplayTrace replays a captured memory trace on a design, streaming the
+// records: the trace is decoded on demand and never materialized, so
+// multi-gigabyte captures replay in constant memory. The reader may
+// yield either trace format, plain or gzip-compressed — the encoding is
+// auto-detected (see internal/trace for the specs; cmd/tracegen emits
+// traces, cmd/traceconv converts between encodings).
+func ReplayTrace(design, name string, r io.Reader, opts ReplayOptions, cfg Config) (Result, error) {
+	if cfg.Scale < 1 || cfg.NMRatio16 < 1 {
+		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	}
+	mlp := opts.MLP
+	if mlp < 1 {
+		mlp = 4
+	}
+	runner := &exp.Runner{
+		Scale:        cfg.Scale,
+		InstrPerCore: cfg.InstrPerCore,
+		Seed:         cfg.Seed,
+		TraceWindow:  opts.Window,
+	}
+	sr, err := runner.RunTrace(name, r, design, cfg.NMRatio16, mlp)
 	if err != nil {
 		return Result{}, fmt.Errorf("hybridmem: %w", err)
 	}

@@ -1,6 +1,9 @@
 package hybridmem
 
 import (
+	"bytes"
+	"compress/gzip"
+	"io"
 	"strings"
 	"testing"
 )
@@ -154,6 +157,40 @@ func TestRunTracePublicAPI(t *testing.T) {
 	}
 	if res.Workload != "unit" || res.Design != "HYBRID2" {
 		t.Fatalf("labels wrong: %+v", res)
+	}
+}
+
+func TestReplayTraceGzip(t *testing.T) {
+	// The same trace, plain and gzip-compressed, must produce identical
+	// results — the encoding is transport, not semantics.
+	const text = "0 10 1000 R\n1 5 2000 W\n0 7 1040 R\n"
+	plain, err := ReplayTrace("HYBRID2", "t", strings.NewReader(text), ReplayOptions{MLP: 2}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	io.WriteString(gz, text)
+	gz.Close()
+	zipped, err := ReplayTrace("HYBRID2", "t", &buf, ReplayOptions{MLP: 2}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != zipped {
+		t.Fatalf("gzip replay differs:\n%+v\nvs\n%+v", plain, zipped)
+	}
+}
+
+func TestReplayTraceWindowError(t *testing.T) {
+	// A trace whose interleaving is more skewed than the lookahead
+	// window must fail with a diagnostic, not buffer unboundedly.
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("7 1 1000 R\n")
+	}
+	_, err := ReplayTrace("Baseline", "skew", strings.NewReader(sb.String()), ReplayOptions{MLP: 2, Window: 4}, quickCfg())
+	if err == nil || !strings.Contains(err.Error(), "window") {
+		t.Fatalf("want window skew error, got %v", err)
 	}
 }
 

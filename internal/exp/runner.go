@@ -51,6 +51,9 @@ type Runner struct {
 	// Parallelism bounds the workers used by ResultsParallel and Sweep;
 	// <= 0 means GOMAXPROCS. 1 forces strictly serial execution.
 	Parallelism int
+	// TraceWindow bounds the per-core lookahead of streaming trace
+	// replay, in records; <= 0 means trace.DefaultWindow.
+	TraceWindow int
 
 	mu    sync.Mutex
 	cache map[string]*runFuture
@@ -285,29 +288,37 @@ func withBaseline(designs []string) []string {
 	return append([]string{"Baseline"}, designs...)
 }
 
-// RunTrace replays a captured trace (see internal/trace) on a design at
-// an NM ratio. mlp bounds per-core overlapped misses. A trace with no
-// records (empty or whitespace/comments only) is an error, not a
-// zero-cycle result. Trace runs are not memoized.
+// RunTrace replays a captured trace on a design at an NM ratio,
+// streaming the records: the trace (any format internal/trace reads,
+// auto-detected) is never materialized, so arbitrarily large captures
+// replay in memory bounded by the runner's TraceWindow. mlp bounds
+// per-core overlapped misses and must be >= 1. A trace with no records
+// (empty or whitespace/comments only) is an error, not a zero-cycle
+// result, as is a decode error or a core interleaving more skewed than
+// the lookahead window. Trace runs are not memoized.
 func (r *Runner) RunTrace(name string, rd io.Reader, designName string, ratio16, mlp int) (res sim.Result, err error) {
 	spec, err := design.Parse(designName)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	tr, err := trace.Read(rd, config.Cores)
+	if mlp < 1 {
+		return sim.Result{}, fmt.Errorf("exp: trace %s: mlp must be >= 1, got %d", name, mlp)
+	}
+	sr, err := trace.NewStreamReader(rd, config.Cores, r.TraceWindow)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	records := 0
-	for _, c := range tr.Cores {
-		records += len(c)
+	// Fail fast on an empty or immediately malformed trace, before any
+	// simulation state is built.
+	if err := sr.Prime(); err != nil {
+		return sim.Result{}, err
 	}
-	if records == 0 {
+	if sr.Records() == 0 {
 		return sim.Result{}, fmt.Errorf("exp: trace %s: no records", name)
 	}
 	srcs := make([]sim.Source, config.Cores)
 	for i := range srcs {
-		srcs[i] = trace.NewReplayer(tr.Cores[i])
+		srcs[i] = sr.Source(i)
 	}
 	defer func() {
 		if p := recover(); p != nil {
@@ -319,7 +330,13 @@ func (r *Runner) RunTrace(name string, rd io.Reader, designName string, ratio16,
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.RunSources(name, srcs, mlp, ms, nm, fm, sys), nil
+	res = sim.RunSources(name, srcs, mlp, ms, nm, fm, sys)
+	// Per-core sources signal stream problems only as an early end of
+	// records; surface the real cause now that replay has drained.
+	if serr := sr.Err(); serr != nil {
+		return sim.Result{}, serr
+	}
+	return res, nil
 }
 
 // Speedup returns design cycles relative to the no-NM baseline, or 0 if

@@ -38,7 +38,9 @@ type Result struct {
 }
 
 // latHist is a log2-bucketed latency histogram: bucket i holds latencies
-// in [2^i, 2^(i+1)); percentile reads return the bucket's upper bound.
+// in [2^i, 2^(i+1)) (bucket 0 also holds 0); percentile reads return the
+// bucket's lower bound, so a uniform latency at an exact bucket boundary
+// L reports L rather than 2L.
 type latHist struct {
 	buckets [40]uint64
 	count   uint64
@@ -71,10 +73,10 @@ func (h *latHist) percentile(p float64) memtypes.Tick {
 	for i, n := range h.buckets {
 		seen += n
 		if seen > target {
-			return 1 << uint(i+1)
+			return 1 << uint(i)
 		}
 	}
-	return 1 << uint(len(h.buckets))
+	return 1 << uint(len(h.buckets)-1)
 }
 
 // ServedNMFrac returns the fraction of memory requests served from NM.
@@ -95,10 +97,12 @@ type Source interface {
 	Next() (gap uint64, addr memtypes.Addr, write bool, ok bool)
 }
 
-// mlpFor derives the effective memory-level parallelism from a workload's
+// MLPFor derives the effective memory-level parallelism from a workload's
 // spatial behaviour: streaming workloads keep many independent misses in
-// flight, pointer-chasing ones serialize on dependent loads.
-func mlpFor(spec workload.Spec) int {
+// flight, pointer-chasing ones serialize on dependent loads. Trace
+// replays of a synthetic workload must pass the same value to RunSources
+// to reproduce the direct run.
+func MLPFor(spec workload.Spec) int {
 	mlp := int(1 + spec.SeqRun/4)
 	if mlp < 1 {
 		mlp = 1
@@ -117,7 +121,7 @@ func Run(spec workload.Spec, ms memtypes.MemorySystem, nm, fm *memsys.Device, sy
 	for i := range srcs {
 		srcs[i] = workload.NewStream(spec, i, sys.Scale, sys.InstrPerCore, sys.Seed)
 	}
-	return RunSources(spec.Name, srcs, mlpFor(spec), ms, nm, fm, sys)
+	return RunSources(spec.Name, srcs, MLPFor(spec), ms, nm, fm, sys)
 }
 
 // RunSources executes one explicit trace source per core — the entry

@@ -1,0 +1,442 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hybridmem/internal/memtypes"
+)
+
+// Format selects a trace encoding (see the package docs for both specs).
+type Format int
+
+const (
+	// FormatText is the line-oriented text format.
+	FormatText Format = iota
+	// FormatBinary is the varint-encoded binary format.
+	FormatBinary
+)
+
+// String returns the -format flag spelling of f.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "text"
+}
+
+// ParseFormat resolves a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text":
+		return FormatText, nil
+	case "binary":
+		return FormatBinary, nil
+	}
+	return 0, errorf("unknown format %q (want text or binary)", s)
+}
+
+// binaryMagic opens every binary trace: "HMT" plus the format version.
+var binaryMagic = []byte{'H', 'M', 'T', 1}
+
+// DefaultWindow is the default per-core lookahead of a StreamReader, in
+// records. At 24 bytes per record it bounds the reader's buffering to
+// ~1.5 MB per core regardless of trace size.
+const DefaultWindow = 1 << 16
+
+// Decoder reads one trace record at a time in the file's global order,
+// auto-detecting gzip compression and the text vs binary encoding from
+// the stream's first bytes. It buffers only bufio-sized chunks of input:
+// decoding is constant-memory.
+type Decoder struct {
+	br         *bufio.Reader
+	format     Format
+	compressed bool
+	maxCores   int
+	line       int    // text only: current line for error positions
+	n          uint64 // records decoded so far
+}
+
+// NewDecoder sniffs r and returns a decoder for its format. Traces may
+// hold records of cores 0..maxCores-1.
+func NewDecoder(r io.Reader, maxCores int) (*Decoder, error) {
+	if maxCores < 1 {
+		return nil, errorf("maxCores must be >= 1, got %d", maxCores)
+	}
+	d := &Decoder{br: bufio.NewReaderSize(r, 1<<16), maxCores: maxCores}
+	if hdr, _ := d.br.Peek(2); len(hdr) == 2 && hdr[0] == 0x1f && hdr[1] == 0x8b {
+		gz, err := gzip.NewReader(d.br)
+		if err != nil {
+			return nil, errorf("gzip: %w", err)
+		}
+		d.compressed = true
+		d.br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	hdr, _ := d.br.Peek(len(binaryMagic))
+	if bytes.Equal(hdr, binaryMagic) {
+		d.br.Discard(len(binaryMagic))
+		d.format = FormatBinary
+	} else if len(hdr) == len(binaryMagic) && bytes.Equal(hdr[:3], binaryMagic[:3]) {
+		return nil, errorf("unsupported binary trace version %d (this build reads version %d)", hdr[3], binaryMagic[3])
+	}
+	return d, nil
+}
+
+// Format reports the detected encoding.
+func (d *Decoder) Format() Format { return d.format }
+
+// Compressed reports whether the input was gzip-compressed.
+func (d *Decoder) Compressed() bool { return d.compressed }
+
+// Records returns how many records have been decoded so far.
+func (d *Decoder) Records() uint64 { return d.n }
+
+// Decode returns the next record and its issuing core. It returns io.EOF
+// at a clean end of trace and a positioned error (line or record number)
+// on malformed input, including a truncated final binary record.
+func (d *Decoder) Decode() (core int, rec Record, err error) {
+	if d.format == FormatBinary {
+		return d.decodeBinary()
+	}
+	return d.decodeText()
+}
+
+func (d *Decoder) decodeBinary() (int, Record, error) {
+	hdr, err := binary.ReadUvarint(d.br)
+	if err == io.EOF {
+		return 0, Record{}, io.EOF
+	}
+	if err != nil {
+		return 0, Record{}, errorf("record %d: %w", d.n+1, err)
+	}
+	// Range-check before the int conversion: a corrupt header varint
+	// must be a positioned error on every platform, not a 32-bit
+	// truncation that mis-attributes the record or indexes out of range.
+	if hdr>>1 >= uint64(d.maxCores) {
+		return 0, Record{}, errorf("record %d: core %d out of range [0,%d)", d.n+1, hdr>>1, d.maxCores)
+	}
+	core := int(hdr >> 1)
+	gap, err := d.readField()
+	if err != nil {
+		return 0, Record{}, err
+	}
+	addr, err := d.readField()
+	if err != nil {
+		return 0, Record{}, err
+	}
+	d.n++
+	return core, Record{Gap: gap, Addr: memtypes.Addr(addr), Write: hdr&1 == 1}, nil
+}
+
+// readField reads one non-leading varint of a binary record, where EOF
+// means the record was cut short.
+func (d *Decoder) readField() (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	if err != nil {
+		return 0, errorf("record %d: truncated: %w", d.n+1, err)
+	}
+	return v, nil
+}
+
+func (d *Decoder) decodeText() (int, Record, error) {
+	for {
+		line, err := d.br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// A valid record line is tens of bytes; anything outgrowing
+			// bufio's 64 KB buffer is garbage input (e.g. a newline-free
+			// blob misdetected as text) that must fail fast instead of
+			// being buffered in full — the decoder's memory stays
+			// bounded on arbitrary inputs.
+			return 0, Record{}, errorf("line %d: longer than %d bytes", d.line+1, d.br.Size())
+		}
+		if err != nil && err != io.EOF {
+			// A transport failure (e.g. a corrupt gzip stream) must
+			// surface as itself, not as a parse error on the fragment
+			// read so far.
+			return 0, Record{}, errorf("%w", err)
+		}
+		if len(line) == 0 && err == io.EOF {
+			return 0, Record{}, io.EOF
+		}
+		d.line++
+		s := strings.TrimSpace(string(line))
+		if s == "" || strings.HasPrefix(s, "#") {
+			if err == io.EOF {
+				return 0, Record{}, io.EOF
+			}
+			continue
+		}
+		core, rec, perr := d.parseLine(s)
+		if perr != nil {
+			return 0, Record{}, perr
+		}
+		d.n++
+		return core, rec, nil
+	}
+}
+
+func (d *Decoder) parseLine(s string) (int, Record, error) {
+	f := strings.Fields(s)
+	if len(f) != 4 {
+		return 0, Record{}, errorf("line %d: want 4 fields, got %d", d.line, len(f))
+	}
+	core, err := strconv.Atoi(f[0])
+	if err != nil || core < 0 || core >= d.maxCores {
+		return 0, Record{}, errorf("line %d: bad core %q", d.line, f[0])
+	}
+	gap, err := strconv.ParseUint(f[1], 10, 64)
+	if err != nil {
+		return 0, Record{}, errorf("line %d: bad gap %q", d.line, f[1])
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(f[2], "0x"), 16, 64)
+	if err != nil {
+		return 0, Record{}, errorf("line %d: bad address %q", d.line, f[2])
+	}
+	var write bool
+	switch f[3] {
+	case "R", "r":
+		write = false
+	case "W", "w":
+		write = true
+	default:
+		return 0, Record{}, errorf("line %d: bad access type %q", d.line, f[3])
+	}
+	return core, Record{Gap: gap, Addr: memtypes.Addr(addr), Write: write}, nil
+}
+
+// StreamWriter encodes records one at a time, so producers (tracegen,
+// traceconv) emit arbitrarily long traces in constant memory. Errors are
+// sticky: the first failure is returned by every later call including
+// Close.
+type StreamWriter struct {
+	bw     *bufio.Writer
+	gz     *gzip.Writer
+	format Format
+	n      uint64
+	buf    []byte
+	err    error
+}
+
+// NewStreamWriter returns a writer emitting format to w, gzip-compressed
+// when compress is set. Binary traces open with the format's magic
+// header. Close must be called to flush buffered output (and terminate
+// the gzip stream); the underlying writer is not closed.
+func NewStreamWriter(w io.Writer, format Format, compress bool) *StreamWriter {
+	sw := &StreamWriter{format: format}
+	if compress {
+		sw.gz = gzip.NewWriter(w)
+		sw.bw = bufio.NewWriterSize(sw.gz, 1<<16)
+	} else {
+		sw.bw = bufio.NewWriterSize(w, 1<<16)
+	}
+	if format == FormatBinary {
+		_, sw.err = sw.bw.Write(binaryMagic)
+	}
+	return sw
+}
+
+// Comment writes a '#' comment line into a text trace. Binary traces
+// carry no comments; the call is a no-op there.
+func (sw *StreamWriter) Comment(s string) error {
+	if sw.err != nil || sw.format != FormatText {
+		return sw.err
+	}
+	_, sw.err = fmt.Fprintf(sw.bw, "# %s\n", s)
+	return sw.err
+}
+
+// Append encodes one record of one core.
+func (sw *StreamWriter) Append(core int, r Record) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if core < 0 {
+		sw.err = errorf("negative core %d", core)
+		return sw.err
+	}
+	if sw.format == FormatBinary {
+		hdr := uint64(core) << 1
+		if r.Write {
+			hdr |= 1
+		}
+		sw.buf = binary.AppendUvarint(sw.buf[:0], hdr)
+		sw.buf = binary.AppendUvarint(sw.buf, r.Gap)
+		sw.buf = binary.AppendUvarint(sw.buf, uint64(r.Addr))
+		_, sw.err = sw.bw.Write(sw.buf)
+	} else {
+		rw := byte('R')
+		if r.Write {
+			rw = 'W'
+		}
+		_, sw.err = fmt.Fprintf(sw.bw, "%d %d %x %c\n", core, r.Gap, uint64(r.Addr), rw)
+	}
+	if sw.err == nil {
+		sw.n++
+	}
+	return sw.err
+}
+
+// Records returns how many records have been appended.
+func (sw *StreamWriter) Records() uint64 { return sw.n }
+
+// Close flushes buffered output and terminates the gzip stream, if any.
+func (sw *StreamWriter) Close() error {
+	if ferr := sw.bw.Flush(); sw.err == nil {
+		sw.err = ferr
+	}
+	if sw.gz != nil {
+		if gerr := sw.gz.Close(); sw.err == nil {
+			sw.err = gerr
+		}
+	}
+	return sw.err
+}
+
+// StreamReader replays a trace from an io.Reader in constant memory: it
+// decodes the global record stream on demand and hands each core its
+// records through a bounded lookahead window, instead of materializing
+// the whole trace like Read. When one core's replay runs far ahead of
+// another's position in the file, up to window records per core are
+// buffered; if the trace's interleave skew exceeds that, replay stops
+// with an error (see Err) rather than buffering without bound.
+//
+// A StreamReader and its per-core streams must be used from one
+// goroutine, which matches the simulator's single-threaded core loop.
+type StreamReader struct {
+	dec    *Decoder
+	window int
+	queues [][]Record // per-core FIFO: queues[c][heads[c]:] is pending
+	heads  []int
+	max    int // high-water mark of any per-core queue, for tests/stats
+	eof    bool
+	err    error
+}
+
+// NewStreamReader opens a trace (any format, auto-detected) for
+// streaming replay by maxCores cores. window bounds the per-core
+// lookahead in records; <= 0 means DefaultWindow.
+func NewStreamReader(r io.Reader, maxCores, window int) (*StreamReader, error) {
+	dec, err := NewDecoder(r, maxCores)
+	if err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &StreamReader{
+		dec:    dec,
+		window: window,
+		queues: make([][]Record, maxCores),
+		heads:  make([]int, maxCores),
+	}, nil
+}
+
+// Source returns core's record stream; the result implements sim.Source.
+func (sr *StreamReader) Source(core int) *CoreStream {
+	return &CoreStream{sr: sr, core: core}
+}
+
+// Prime decodes the first record into its window, so callers can fail
+// fast on an empty or immediately malformed trace before standing up
+// expensive replay state. An empty trace is not an error here — check
+// Records afterwards.
+func (sr *StreamReader) Prime() error {
+	if sr.dec.Records() == 0 && !sr.eof && sr.err == nil {
+		sr.pump()
+	}
+	return sr.err
+}
+
+// Err returns the decode or window-skew error that stopped replay, or
+// nil after a clean end of trace. Callers must check it once every
+// source has drained: per-core streams signal errors only as an early
+// end of records.
+func (sr *StreamReader) Err() error { return sr.err }
+
+// Records returns how many records have been decoded so far.
+func (sr *StreamReader) Records() uint64 { return sr.dec.Records() }
+
+// MaxQueued returns the high-water mark of any core's lookahead queue —
+// by construction at most the window.
+func (sr *StreamReader) MaxQueued() int { return sr.max }
+
+func (sr *StreamReader) queued(core int) int {
+	return len(sr.queues[core]) - sr.heads[core]
+}
+
+// pump decodes one record into its core's queue; false once the stream
+// is exhausted or errored.
+func (sr *StreamReader) pump() bool {
+	core, rec, err := sr.dec.Decode()
+	if err == io.EOF {
+		sr.eof = true
+		return false
+	}
+	if err != nil {
+		sr.err = err
+		return false
+	}
+	if sr.queued(core) >= sr.window {
+		sr.err = errorf("record %d: interleave skew exceeds the lookahead window: %d records of core %d buffered while other cores replay; rerun with a larger window", sr.dec.Records(), sr.window, core)
+		return false
+	}
+	q := sr.queues[core]
+	// Reclaim the drained prefix once it dominates the backing array, so
+	// the queue's footprint stays proportional to the window, not to the
+	// records replayed.
+	if h := sr.heads[core]; h >= 64 && h*2 >= len(q) {
+		n := copy(q, q[h:])
+		q = q[:n]
+		sr.heads[core] = 0
+	}
+	sr.queues[core] = append(q, rec)
+	if n := sr.queued(core); n > sr.max {
+		sr.max = n
+	}
+	return true
+}
+
+// CoreStream serves one core's records from a shared StreamReader; it
+// implements sim.Source.
+type CoreStream struct {
+	sr   *StreamReader
+	core int
+}
+
+// Next implements sim.Source: it pops core's next record, pumping the
+// shared decoder (buffering other cores' records within their windows)
+// until one arrives. ok is false at end of trace and after any decode or
+// window error — the caller distinguishes the two via StreamReader.Err.
+func (cs *CoreStream) Next() (gap uint64, addr memtypes.Addr, write bool, ok bool) {
+	sr := cs.sr
+	if sr.err != nil {
+		// A stream error ends every core's replay at once, including
+		// cores with buffered records: partial data must not replay on.
+		return 0, 0, false, false
+	}
+	for sr.queued(cs.core) == 0 {
+		if sr.eof {
+			return 0, 0, false, false
+		}
+		sr.pump()
+		if sr.err != nil {
+			return 0, 0, false, false
+		}
+	}
+	r := sr.queues[cs.core][sr.heads[cs.core]]
+	sr.heads[cs.core]++
+	if sr.heads[cs.core] == len(sr.queues[cs.core]) {
+		sr.queues[cs.core] = sr.queues[cs.core][:0]
+		sr.heads[cs.core] = 0
+	}
+	return r.Gap, r.Addr, r.Write, true
+}

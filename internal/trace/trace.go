@@ -1,23 +1,59 @@
-// Package trace defines a plain-text memory-trace format and a replayer,
-// so the simulator can be driven by captured traces (e.g. from Pin, as
-// the paper's authors did) instead of the built-in synthetic workloads.
+// Package trace defines the memory-trace formats and replayers that let
+// the simulator run from captured traces (e.g. from Pin, as the paper's
+// authors did) instead of the built-in synthetic workloads.
 //
-// Format: one record per line, blank lines and '#' comments ignored:
+// Two encodings are supported, both optionally gzip-compressed; readers
+// auto-detect compression and encoding from the stream's first bytes, so
+// every consumer (Read, NewDecoder, NewStreamReader, cmd/hybrid2sim,
+// cmd/traceconv, hybridmem.ReplayTrace) accepts any of the four
+// combinations.
+//
+// # Text format
+//
+// One record per line, blank lines and '#' comments ignored:
 //
 //	<core> <gap> <addr-hex> R|W
 //
 // core is the issuing core (0-7), gap the number of non-memory
 // instructions preceding the access, addr the byte address (hex, with or
 // without 0x), and R/W the access type. Records of one core must appear
-// in program order; cores may interleave arbitrarily.
+// in program order; cores may interleave arbitrarily. Lines — comments
+// included — are limited to 64 KB, which keeps decoding bounded-memory
+// on arbitrary inputs.
+//
+// # Binary format
+//
+// A compact varint encoding, roughly 2-3x smaller than text before
+// compression. The stream opens with a 4-byte header:
+//
+//	'H' 'M' 'T' <version>
+//
+// where <version> is currently 1. Records follow back to back until EOF,
+// each three unsigned varints (encoding/binary Uvarint):
+//
+//	uvarint  core<<1 | write   (write is 1 for stores, 0 for loads)
+//	uvarint  gap               (non-memory instructions before the access)
+//	uvarint  addr              (byte address)
+//
+// A record cut off mid-varint is an error (io.ErrUnexpectedEOF); note
+// that the format carries no record count or trailer, so truncation at
+// an exact record boundary is indistinguishable from a shorter trace.
+//
+// # Record order
+//
+// Both formats carry records in one global stream. Writers (Trace.Write,
+// Interleaver, cmd/tracegen) order records by cumulative per-core
+// instruction position — each record advances its core by Gap+1
+// instructions — which approximates the capture-time interleaving of an
+// in-order retirement, instead of imposing an artificial round-robin.
+// Streaming readers rely on the interleaving being approximately fair:
+// StreamReader buffers at most a bounded lookahead window per core and
+// errors if the skew between cores exceeds it.
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"hybridmem/internal/memtypes"
 )
@@ -29,82 +65,58 @@ type Record struct {
 	Write bool
 }
 
-// Trace holds per-core record streams.
+// Trace holds per-core record streams, fully materialized. For large
+// traces prefer StreamReader, which replays in constant memory.
 type Trace struct {
 	Cores [][]Record
 }
 
-// Read parses a trace with at most maxCores cores.
+// Read parses a whole trace (any format, auto-detected) with at most
+// maxCores cores into memory.
 func Read(r io.Reader, maxCores int) (*Trace, error) {
+	d, err := NewDecoder(r, maxCores)
+	if err != nil {
+		return nil, err
+	}
 	t := &Trace{Cores: make([][]Record, maxCores)}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		core, rec, err := d.Decode()
+		if err == io.EOF {
+			return t, nil
 		}
-		f := strings.Fields(line)
-		if len(f) != 4 {
-			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(f))
-		}
-		core, err := strconv.Atoi(f[0])
-		if err != nil || core < 0 || core >= maxCores {
-			return nil, fmt.Errorf("trace: line %d: bad core %q", lineNo, f[0])
-		}
-		gap, err := strconv.ParseUint(f[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, f[1])
+			return nil, err
 		}
-		addr, err := strconv.ParseUint(strings.TrimPrefix(f[2], "0x"), 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, f[2])
-		}
-		var write bool
-		switch f[3] {
-		case "R", "r":
-			write = false
-		case "W", "w":
-			write = true
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad access type %q", lineNo, f[3])
-		}
-		t.Cores[core] = append(t.Cores[core], Record{Gap: gap, Addr: memtypes.Addr(addr), Write: write})
+		t.Cores[core] = append(t.Cores[core], rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
-	}
-	return t, nil
 }
 
-// Write serializes the trace in core-interleaved round-robin order.
+// Write serializes the trace as text, interleaving cores by cumulative
+// instruction position (see the package docs on record order), so a
+// read-write round trip preserves the global record order.
 func (t *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	idx := make([]int, len(t.Cores))
+	return t.WriteFormat(w, FormatText)
+}
+
+// WriteFormat serializes the trace in the given format, in the same
+// global order as Write.
+func (t *Trace) WriteFormat(w io.Writer, format Format) error {
+	srcs := make([]Source, len(t.Cores))
+	for c := range t.Cores {
+		srcs[c] = NewReplayer(t.Cores[c])
+	}
+	it := NewInterleaver(srcs)
+	sw := NewStreamWriter(w, format, false)
 	for {
-		wrote := false
-		for c := range t.Cores {
-			if idx[c] >= len(t.Cores[c]) {
-				continue
-			}
-			r := t.Cores[c][idx[c]]
-			idx[c]++
-			wrote = true
-			rw := "R"
-			if r.Write {
-				rw = "W"
-			}
-			if _, err := fmt.Fprintf(bw, "%d %d %x %s\n", c, r.Gap, uint64(r.Addr), rw); err != nil {
-				return err
-			}
-		}
-		if !wrote {
+		core, rec, ok := it.Next()
+		if !ok {
 			break
 		}
+		if err := sw.Append(core, rec); err != nil {
+			return err
+		}
 	}
-	return bw.Flush()
+	return sw.Close()
 }
 
 // Records returns the total record count.
@@ -116,7 +128,16 @@ func (t *Trace) Records() int {
 	return n
 }
 
-// Replayer replays one core's records; it implements sim.Source.
+// Source yields one core's records in program order: gap non-memory
+// instructions followed by a 64 B access. workload.Stream, Replayer and
+// StreamReader's per-core streams all implement it (it mirrors
+// sim.Source).
+type Source interface {
+	Next() (gap uint64, addr memtypes.Addr, write bool, ok bool)
+}
+
+// Replayer replays one core's materialized records; it implements
+// sim.Source.
 type Replayer struct {
 	recs []Record
 	pos  int
@@ -133,4 +154,66 @@ func (p *Replayer) Next() (gap uint64, addr memtypes.Addr, write bool, ok bool) 
 	r := p.recs[p.pos]
 	p.pos++
 	return r.Gap, r.Addr, r.Write, true
+}
+
+// Interleaver merges per-core record sources into a single globally
+// ordered stream: the next record is always the pending one with the
+// lowest cumulative instruction position (ties to the lowest core) —
+// the order an in-order machine would retire them. tracegen and
+// Trace.Write serialize through it so written traces preserve a
+// capture-like interleaving.
+type Interleaver struct {
+	srcs    []Source
+	pending []Record
+	pos     []uint64
+	live    []bool
+}
+
+// NewInterleaver builds an interleaver over one source per core. Sources
+// are consumed lazily, one pending record each, so interleaving is
+// constant-memory.
+func NewInterleaver(srcs []Source) *Interleaver {
+	it := &Interleaver{
+		srcs:    srcs,
+		pending: make([]Record, len(srcs)),
+		pos:     make([]uint64, len(srcs)),
+		live:    make([]bool, len(srcs)),
+	}
+	for c := range srcs {
+		it.refill(c)
+	}
+	return it
+}
+
+func (it *Interleaver) refill(c int) {
+	gap, addr, write, ok := it.srcs[c].Next()
+	if !ok {
+		it.live[c] = false
+		return
+	}
+	it.live[c] = true
+	it.pending[c] = Record{Gap: gap, Addr: addr, Write: write}
+	it.pos[c] += gap + 1
+}
+
+// Next returns the next record in global order; ok is false once every
+// source is exhausted.
+func (it *Interleaver) Next() (core int, r Record, ok bool) {
+	sel := -1
+	for c := range it.srcs {
+		if it.live[c] && (sel < 0 || it.pos[c] < it.pos[sel]) {
+			sel = c
+		}
+	}
+	if sel < 0 {
+		return 0, Record{}, false
+	}
+	r = it.pending[sel]
+	it.refill(sel)
+	return sel, r, true
+}
+
+// errorf builds every package error with a uniform prefix.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("trace: "+format, args...)
 }
