@@ -1,0 +1,201 @@
+package hybridmem
+
+import (
+	"context"
+	"fmt"
+
+	"hybridmem/internal/dse"
+)
+
+// ExploreOptions configures a design-space exploration. The zero value
+// of every field has a usable default; Config's zero value means
+// DefaultConfig with a 200k-instruction budget per run (explorations
+// evaluate many candidates, so individual runs are kept short).
+type ExploreOptions struct {
+	// Families selects the design families to search by base name (see
+	// AllDesigns); nil means every registered family except the
+	// baseline. Parameterized families contribute their enumerated
+	// design space, parameterless ones a single candidate.
+	Families []string
+	// Workloads selects the evaluation workloads by name; nil means all
+	// 30 built-in benchmarks. Candidates are scored on geometric-mean
+	// behaviour across the set.
+	Workloads []string
+	// Budget bounds candidate evaluations; the search stops at the
+	// first batch boundary at or past it. <= 0 explores the whole
+	// enumerated space.
+	Budget int
+	// BatchSize is the number of candidates evaluated — and
+	// checkpointed — per batch; <= 0 means 8.
+	BatchSize int
+	// Seed drives the search's random sampling (the simulation seed
+	// lives in Config); same seed, same search. 0 means 1.
+	Seed uint64
+	// Config configures the underlying simulations; its zero value
+	// means DefaultConfig with InstrPerCore 200_000.
+	Config Config
+	// Parallelism bounds concurrently evaluated runs; <= 0 means
+	// GOMAXPROCS. It does not affect results.
+	Parallelism int
+	// MaxPerParam caps the candidate values enumerated per integer
+	// parameter (wide ranges subsample on a geometric ladder); <= 0
+	// means 12.
+	MaxPerParam int
+	// UnboundedMax substitutes an upper bound for parameters declared
+	// unbounded above; without one, such a parameter refuses to
+	// enumerate (an accidental infinite space fails loudly). Every
+	// built-in family is bounded, so this matters only for externally
+	// registered designs.
+	UnboundedMax int
+	// Checkpoint names a JSON state file rewritten atomically after
+	// every batch; empty disables checkpointing. Resume continues from
+	// an existing checkpoint: a search interrupted at any batch
+	// boundary and resumed produces results byte-identical to an
+	// uninterrupted run.
+	Checkpoint string
+	Resume     bool
+	// MaxBatches pauses the search after that many batches in this
+	// call (checkpoint permitting resumption later); <= 0 runs to
+	// completion.
+	MaxBatches int
+	// Progress, when non-nil, streams search progress: it is called
+	// after every merged batch and once more on completion.
+	Progress func(ExploreProgress)
+}
+
+// ExploreProgress is one streaming progress report of an exploration.
+type ExploreProgress struct {
+	// Batch counts completed batches; Evaluated counts evaluated
+	// candidates against Budget and SpaceSize; FrontierSize is the
+	// current Pareto set size. Done marks the final report.
+	Batch        int
+	Evaluated    int
+	Budget       int
+	SpaceSize    int
+	FrontierSize int
+	Done         bool
+}
+
+// ExplorePoint is one evaluated candidate design of an exploration.
+type ExplorePoint struct {
+	Design string `json:"design"`
+	// Speedup is the geometric-mean speedup over the no-NM baseline
+	// across the evaluated workloads (maximized by the search).
+	Speedup float64 `json:"speedup"`
+	// CapacityMB is the paper-scale DRAM capacity the design spends:
+	// its cacheMB parameter when the family has one, the full near
+	// memory otherwise (minimized).
+	CapacityMB float64 `json:"capacity_mb"`
+	// TrafficGB is the mean write traffic per run — all NM and FM
+	// write bytes combined, including demand writes, fills, migrations,
+	// writebacks and metadata — in GB (minimized).
+	TrafficGB float64 `json:"traffic_gb"`
+	// Infeasible marks a candidate that failed to build or run at the
+	// simulated scale; Err carries the reason.
+	Infeasible bool   `json:"infeasible,omitempty"`
+	Err        string `json:"error,omitempty"`
+}
+
+// ExploreResult is the outcome of an exploration.
+type ExploreResult struct {
+	// Frontier is the Pareto-optimal subset of the evaluated feasible
+	// candidates — no member is at least matched on every objective and
+	// beaten on one by another — ordered by ascending capacity.
+	Frontier []ExplorePoint `json:"frontier"`
+	// Evaluated lists every evaluated candidate in evaluation order.
+	Evaluated []ExplorePoint `json:"evaluated"`
+	// SpaceSize is the enumerated candidate-space size; Batches the
+	// number of batches run (including checkpointed ones on resume).
+	SpaceSize int `json:"space_size"`
+	Batches   int `json:"batches"`
+	// Resumed reports whether the search continued from a checkpoint;
+	// Complete whether it reached its natural end rather than pausing
+	// at MaxBatches. Both are excluded from the JSON form, which is
+	// identical for interrupted-and-resumed and uninterrupted runs.
+	Resumed  bool `json:"-"`
+	Complete bool `json:"-"`
+}
+
+// Explore searches the registered design space for Pareto-optimal
+// memory organizations — the H2DSE exploration the paper's Figure 11 is
+// built from, generalized over every registered family. Candidates are
+// enumerated from the families' parameter grammars (exhaustively when
+// the space fits the budget; by seeded random sampling plus
+// hill-climbing on the frontier's neighborhoods otherwise), evaluated
+// concurrently on the selected workloads, and folded into a Pareto
+// frontier over speedup, DRAM capacity and memory write traffic.
+//
+// The search is deterministic for a given options set and seed, at any
+// parallelism. With a Checkpoint configured, state is flushed after
+// every batch and a canceled or paused search resumes exactly where it
+// stopped. On cancellation Explore returns the partial result alongside
+// ctx.Err().
+func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
+	cfg := opts.Config
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+		cfg.InstrPerCore = 200_000
+	}
+	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
+		return ExploreResult{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	}
+	var progress func(dse.Event)
+	if opts.Progress != nil {
+		progress = func(e dse.Event) {
+			opts.Progress(ExploreProgress{
+				Batch:        e.Round,
+				Evaluated:    e.Evaluated,
+				Budget:       e.Budget,
+				SpaceSize:    e.SpaceSize,
+				FrontierSize: e.FrontierSize,
+				Done:         e.Done,
+			})
+		}
+	}
+	res, err := dse.Search(ctx, dse.Options{
+		Families:     opts.Families,
+		Workloads:    opts.Workloads,
+		Budget:       opts.Budget,
+		BatchSize:    opts.BatchSize,
+		MaxRounds:    opts.MaxBatches,
+		Seed:         opts.Seed,
+		Scale:        cfg.Scale,
+		InstrPerCore: cfg.InstrPerCore,
+		SimSeed:      cfg.Seed,
+		Ratio16:      cfg.NMRatio16,
+		Parallelism:  opts.Parallelism,
+		MaxPerParam:  opts.MaxPerParam,
+		UnboundedMax: opts.UnboundedMax,
+		Checkpoint:   opts.Checkpoint,
+		Resume:       opts.Resume,
+		Progress:     progress,
+	})
+	out := ExploreResult{
+		Frontier:  fromPoints(res.Frontier),
+		Evaluated: fromPoints(res.Evaluated),
+		SpaceSize: res.SpaceSize,
+		Batches:   res.Rounds,
+		Resumed:   res.Resumed,
+		Complete:  res.Complete,
+	}
+	if err != nil {
+		return out, fmt.Errorf("hybridmem: %w", err)
+	}
+	return out, nil
+}
+
+// fromPoints converts internal search points to the public form.
+func fromPoints(pts []dse.Point) []ExplorePoint {
+	out := make([]ExplorePoint, len(pts))
+	for i, p := range pts {
+		out[i] = ExplorePoint{
+			Design:     p.Design,
+			Speedup:    p.Speedup,
+			CapacityMB: p.CapacityMB,
+			TrafficGB:  p.TrafficGB,
+			Infeasible: p.Infeasible,
+			Err:        p.Err,
+		}
+	}
+	return out
+}

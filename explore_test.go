@@ -1,0 +1,112 @@
+package hybridmem
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// tinyExplore is a fast public-API exploration: one family, one
+// small-footprint workload, short streams.
+func tinyExplore() ExploreOptions {
+	return ExploreOptions{
+		Families:    []string{"H2DSE"},
+		Workloads:   []string{"mcf"},
+		Budget:      6,
+		BatchSize:   2,
+		Seed:        7,
+		Config:      Config{Scale: 16, NMRatio16: 1, InstrPerCore: 20_000, Seed: 1},
+		MaxPerParam: 3,
+	}
+}
+
+// TestExplore exercises the public search surface end to end: progress
+// streams, the budget is honoured at batch granularity, and every
+// frontier design is a valid, runnable registry name.
+func TestExplore(t *testing.T) {
+	var events []ExploreProgress
+	opts := tinyExplore()
+	opts.Progress = func(p ExploreProgress) { events = append(events, p) }
+	res, err := Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Resumed {
+		t.Fatalf("Complete=%v Resumed=%v, want true/false", res.Complete, res.Resumed)
+	}
+	if len(res.Evaluated) < opts.Budget || len(res.Evaluated) >= opts.Budget+opts.BatchSize {
+		t.Fatalf("evaluated %d candidates for budget %d batch %d", len(res.Evaluated), opts.Budget, opts.BatchSize)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for _, p := range res.Frontier {
+		if err := ValidateDesign(p.Design); err != nil {
+			t.Errorf("frontier design %q is not a valid design name: %v", p.Design, err)
+		}
+		if p.Infeasible {
+			t.Errorf("infeasible design %q on the frontier", p.Design)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if !last.Done || last.Evaluated != len(res.Evaluated) || last.Batch != res.Batches {
+		t.Fatalf("final progress event %+v does not match result (%d evaluated, %d batches)", last, len(res.Evaluated), res.Batches)
+	}
+}
+
+// TestExploreResumeDeterministic pins the public resume guarantee: pause
+// via MaxBatches, resume from the checkpoint, and the result equals an
+// uninterrupted run's.
+func TestExploreResumeDeterministic(t *testing.T) {
+	want, err := Explore(context.Background(), tinyExplore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(t.TempDir(), "explore.json")
+	paused := tinyExplore()
+	paused.MaxBatches = 1
+	paused.Checkpoint = ck
+	if res, err := Explore(context.Background(), paused); err != nil {
+		t.Fatal(err)
+	} else if res.Complete {
+		t.Fatal("paused exploration reports Complete")
+	}
+	resumed := tinyExplore()
+	resumed.Checkpoint = ck
+	resumed.Resume = true
+	got, err := Explore(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Resumed {
+		t.Fatal("Resumed not set after resume")
+	}
+	got.Resumed, got.Complete = want.Resumed, want.Complete
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestExploreErrors covers the public validation paths.
+func TestExploreErrors(t *testing.T) {
+	opts := tinyExplore()
+	opts.Families = []string{"NO-SUCH"}
+	if _, err := Explore(context.Background(), opts); err == nil {
+		t.Error("unknown family accepted")
+	}
+	opts = tinyExplore()
+	opts.Config = Config{Scale: -1}
+	if _, err := Explore(context.Background(), opts); err == nil {
+		t.Error("invalid config accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Explore(ctx, tinyExplore()); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled exploration returned %v, want context.Canceled", err)
+	}
+}

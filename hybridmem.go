@@ -34,7 +34,11 @@
 //	fmt.Printf("speedup: %.2f\n", float64(base.Cycles)/float64(res.Cycles))
 //
 // RunAll sweeps many (design, workload) pairs across a worker pool; the
-// results are deterministic and identical at any parallelism.
+// results are deterministic and identical at any parallelism. Explore
+// searches the registered design space for Pareto-optimal organizations
+// (speedup vs DRAM capacity vs memory write traffic) under an
+// evaluation budget, with per-batch checkpointing and deterministic
+// resume — the paper's H2DSE exploration as an API.
 package hybridmem
 
 import (

@@ -1,0 +1,61 @@
+package dse
+
+import (
+	"context"
+	"testing"
+
+	"hybridmem/internal/design"
+)
+
+// BenchmarkDSECandidateGen measures pure candidate generation: space
+// enumeration for every registered family plus a neighborhood expansion
+// of each enumerated spec — the non-simulation cost of a search round.
+func BenchmarkDSECandidateGen(b *testing.B) {
+	opts := design.EnumOptions{MaxPerParam: 8}
+	infos := design.AllInfos()
+	b.ReportAllocs()
+	for b.Loop() {
+		total := 0
+		for _, info := range infos {
+			specs, err := info.Enumerate(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(specs)
+			for _, s := range specs {
+				nbrs, err := info.Neighbors(s, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(nbrs)
+			}
+		}
+		if total == 0 {
+			b.Fatal("no candidates generated")
+		}
+	}
+}
+
+// BenchmarkDSEBatchEval measures one budgeted search round end to end —
+// candidate generation plus a batch of simulations through the parallel
+// runner — at the tiny scale the CI smoke uses.
+func BenchmarkDSEBatchEval(b *testing.B) {
+	for b.Loop() {
+		res, err := Search(context.Background(), Options{
+			Families:     []string{"H2DSE"},
+			Workloads:    []string{"mcf"},
+			Budget:       4,
+			BatchSize:    4,
+			MaxRounds:    1,
+			Seed:         1,
+			InstrPerCore: 20_000,
+			MaxPerParam:  3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Evaluated) == 0 {
+			b.Fatal("no candidates evaluated")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// checkpointVersion guards the schema below; a mismatch refuses resume
+// rather than silently misreading an older file.
+const checkpointVersion = 1
+
+// checkpoint is the on-disk search state, written atomically after every
+// completed batch. It holds exactly what the next round's generation
+// depends on — the evaluated points in order, the RNG state after the
+// last batch was drawn, and the cached baseline cycles — so a resumed
+// search replays the identical round sequence an uninterrupted run would
+// have produced. The frontier is not stored: it is a pure fold over
+// Evaluated and is rebuilt on load.
+type checkpoint struct {
+	Version int `json:"version"`
+	// Fingerprint encodes every option the round sequence depends on
+	// (families, workloads, budget, seeds, scale, batch size,
+	// enumeration caps). A mismatch refuses resume: continuing a search
+	// under different options would silently break determinism.
+	Fingerprint string `json:"fingerprint"`
+	RNG         uint64 `json:"rng"`
+	Rounds      int    `json:"rounds"`
+	SpaceSize   int    `json:"space_size"`
+	// BaselineCycles holds the no-NM baseline run of each workload, in
+	// option order, so resume does not re-simulate the normalization
+	// points.
+	BaselineCycles []uint64 `json:"baseline_cycles"`
+	Evaluated      []Point  `json:"evaluated"`
+}
+
+// saveCheckpoint writes the state atomically: a temp file in the target
+// directory, fsync'd, then renamed over the destination, so an interrupt
+// mid-write never corrupts the previous checkpoint.
+func saveCheckpoint(path string, ck *checkpoint) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dse: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".dse-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("dse: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint reads and version-checks a checkpoint file.
+func loadCheckpoint(path string) (*checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dse: resume: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("dse: resume %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("dse: resume %s: checkpoint version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	return &ck, nil
+}

@@ -1,0 +1,598 @@
+// Package dse is the design-space exploration engine: the H2DSE-style
+// search the paper builds its Figure 11 trade-off analysis from,
+// generalized over every family in the design registry.
+//
+// # Search algorithm
+//
+// The space is the union of each selected family's enumeration
+// (design.Info.Enumerate): the cross product of per-parameter value
+// ladders, filtered through the family's cross-parameter Check hook, in
+// deterministic registry-then-odometer order. The search then proceeds
+// in rounds of BatchSize candidates:
+//
+//   - Exhaustive: when the space fits the budget (or the budget is
+//     unlimited), rounds walk the space in enumeration order.
+//   - Budgeted: when the space exceeds the budget, the first half of the
+//     budget is spent on seeded random sampling without replacement
+//     (exploration), after which rounds switch to hill-climbing: the
+//     ladder neighbors (design.Info.Neighbors) of the current Pareto
+//     frontier, name-sorted, topped up with random candidates when the
+//     neighborhood is exhausted.
+//
+// Every candidate of a round is evaluated concurrently through
+// internal/exp's parallel runner across the selected workloads; rounds
+// always run to completion, so the search stops at the first round
+// boundary at or past the budget. All randomness comes from a splitmix64
+// generator whose single-word state lives in the checkpoint, which makes
+// the round sequence — and therefore the frontier — a pure function of
+// the options and seed, regardless of interruption or parallelism.
+//
+// # Objectives
+//
+// Each feasible candidate gets an objective vector (see Objectives):
+// geometric-mean speedup over the no-NM baseline (maximized), the DRAM
+// capacity the organization spends (minimized), and its mean write
+// traffic across both memory devices — fills, migrations, writebacks,
+// demand writes and metadata combined (minimized). The Pareto frontier
+// over these vectors is maintained incrementally as batches merge;
+// candidates that fail to build at the simulated scale are recorded as
+// infeasible so a resumed search does not retry them.
+//
+// # Checkpointing
+//
+// With Options.Checkpoint set, the search atomically rewrites a JSON
+// state file after every completed round: schema version, an options
+// fingerprint (everything the round sequence depends on, budget
+// included), the RNG state, the baseline cycles, and the evaluated
+// points in order. Options.Resume loads that file, rebuilds the
+// frontier by folding the evaluated points, and continues the round
+// sequence exactly where the interrupted run left off: a search
+// interrupted at any round boundary — by cancellation or by the
+// MaxRounds pause — and resumed yields byte-identical results to an
+// uninterrupted run at the same seed.
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hybridmem/internal/config"
+	"hybridmem/internal/design"
+	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
+	"hybridmem/internal/exp"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/workload"
+)
+
+// Options configures a search. The zero value of every field has a
+// usable default; only genuinely invalid inputs (unknown family or
+// workload names, Resume without Checkpoint) error.
+type Options struct {
+	// Families selects the design families to explore by base name;
+	// nil means every registered family except the baseline.
+	Families []string
+	// Workloads selects the evaluation workloads by name; nil means all
+	// 30 built-in benchmarks. Candidates are scored on their
+	// geometric-mean behaviour across this set.
+	Workloads []string
+	// Budget bounds candidate evaluations; the search stops at the first
+	// round boundary at or past it. <= 0 means exhaustive.
+	Budget int
+	// MaxRounds pauses the search after that many rounds in this
+	// invocation (not counting checkpointed rounds), flushing the
+	// checkpoint as usual; <= 0 means run to completion. A paused search
+	// resumes exactly where it stopped — the programmatic form of an
+	// interrupt at a round boundary.
+	MaxRounds int
+	// BatchSize is the round granularity: candidates evaluated (and
+	// checkpointed) together. <= 0 means 8.
+	BatchSize int
+	// Seed drives the search's random sampling. 0 means 1.
+	Seed uint64
+	// Scale, InstrPerCore, SimSeed and Ratio16 configure the underlying
+	// simulations (see exp.Runner); zero values mean the defaults
+	// (config.DefaultScale, 200k instructions, seed 1, 1:16 NM:FM).
+	Scale        int
+	InstrPerCore uint64
+	SimSeed      uint64
+	Ratio16      int
+	// Parallelism bounds concurrently evaluated runs; <= 0 means
+	// GOMAXPROCS. It does not affect results.
+	Parallelism int
+	// MaxPerParam and UnboundedMax bound the space enumeration; see
+	// design.EnumOptions. Zero means 12 values per parameter and
+	// rejection of unbounded parameters.
+	MaxPerParam  int
+	UnboundedMax int
+	// Checkpoint is the state-file path, rewritten atomically after
+	// every round; empty disables checkpointing. Resume continues from
+	// an existing checkpoint instead of starting fresh.
+	Checkpoint string
+	Resume     bool
+	// Progress, when non-nil, is called after every merged round and
+	// once more when the search completes.
+	Progress func(Event)
+}
+
+// Event is one streaming progress report.
+type Event struct {
+	// Round counts completed rounds; Evaluated counts evaluated
+	// candidates (including infeasible ones) against Budget and
+	// SpaceSize; FrontierSize is the current Pareto set size.
+	Round        int
+	Evaluated    int
+	Budget       int
+	SpaceSize    int
+	FrontierSize int
+	// Done marks the final event of the search.
+	Done bool
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// Frontier is the Pareto-optimal subset of the evaluated feasible
+	// candidates, in reporting order (ascending capacity).
+	Frontier []Point `json:"frontier"`
+	// Evaluated lists every evaluated candidate in evaluation order —
+	// the deterministic audit trail of the search.
+	Evaluated []Point `json:"evaluated"`
+	SpaceSize int     `json:"space_size"`
+	Rounds    int     `json:"rounds"`
+	// Resumed reports whether this search continued from a checkpoint;
+	// Complete whether it ran to its natural end rather than pausing at
+	// MaxRounds. Both are deliberately excluded from the JSON form,
+	// which is identical for interrupted-and-resumed and uninterrupted
+	// runs.
+	Resumed  bool `json:"-"`
+	Complete bool `json:"-"`
+}
+
+// Search runs a design-space exploration to completion (or budget, or
+// cancellation). On cancellation it flushes a final checkpoint and
+// returns the partial result alongside ctx.Err(); everything already
+// merged remains valid and resumable.
+func Search(ctx context.Context, opts Options) (Result, error) {
+	s, err := newSearcher(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Resume {
+		if opts.Checkpoint == "" {
+			return Result{}, errors.New("dse: Resume requires a Checkpoint path")
+		}
+		ck, err := loadCheckpoint(opts.Checkpoint)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := s.restore(ck); err != nil {
+			return Result{}, err
+		}
+	}
+	if s.baseline == nil {
+		if err := s.evalBaseline(ctx); err != nil {
+			return s.result(), err
+		}
+	}
+	roundsBefore := s.rounds
+	for !s.done() {
+		if opts.MaxRounds > 0 && s.rounds-roundsBefore >= opts.MaxRounds {
+			return s.result(), nil // paused; Complete stays false
+		}
+		rngBefore := s.rng.state
+		batch := s.nextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		pts, err := s.evalBatch(ctx, batch)
+		if err != nil {
+			// The aborted round never happened: restore the RNG so the
+			// flushed checkpoint reflects the last completed round, from
+			// which resume regenerates this round identically.
+			s.rng.state = rngBefore
+			if ferr := s.flush(); ferr != nil {
+				err = errors.Join(err, ferr)
+			}
+			return s.result(), err
+		}
+		s.merge(pts)
+		if err := s.flush(); err != nil {
+			return s.result(), err
+		}
+		s.emit(false)
+	}
+	s.emit(true)
+	res := s.result()
+	res.Complete = true
+	return res, nil
+}
+
+// searcher is the in-flight state of one search.
+type searcher struct {
+	opts     Options
+	families []*design.Info
+	wls      []workload.Spec
+	enumOpts design.EnumOptions
+	runner   *exp.Runner
+
+	space    []design.Spec
+	spaceIdx map[string]int
+
+	rng      rng
+	rounds   int
+	baseline []uint64 // baseline cycles per workload, option order
+	evald    []Point
+	seen     map[string]bool
+	front    frontier
+	resumed  bool
+}
+
+// newSearcher validates and normalizes the options and enumerates the
+// search space.
+func newSearcher(opts Options) (*searcher, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = config.DefaultScale
+	}
+	if opts.InstrPerCore == 0 {
+		opts.InstrPerCore = 200_000
+	}
+	if opts.SimSeed == 0 {
+		opts.SimSeed = 1
+	}
+	if opts.Ratio16 <= 0 {
+		opts.Ratio16 = 1
+	}
+	// Normalize the enumeration bounds the same way EnumOptions resolves
+	// them, so the checkpoint fingerprint — which embeds them — matches
+	// between semantically identical searches (e.g. MaxPerParam 0 vs 12).
+	if opts.MaxPerParam <= 0 {
+		opts.MaxPerParam = 12
+	} else if opts.MaxPerParam < 2 {
+		opts.MaxPerParam = 2
+	}
+	if opts.UnboundedMax < 0 {
+		opts.UnboundedMax = 0
+	}
+	s := &searcher{
+		opts:     opts,
+		enumOpts: design.EnumOptions{MaxPerParam: opts.MaxPerParam, UnboundedMax: opts.UnboundedMax},
+		seen:     map[string]bool{},
+		rng:      rng{state: opts.Seed},
+	}
+	if opts.Families == nil {
+		for _, info := range design.AllInfos() {
+			if info.Kind != design.KindBaseline {
+				s.families = append(s.families, info)
+			}
+		}
+	} else {
+		for _, name := range opts.Families {
+			info, ok := design.LookupInfo(name)
+			if !ok {
+				return nil, fmt.Errorf("dse: unknown design family %q", name)
+			}
+			s.families = append(s.families, info)
+		}
+	}
+	if len(s.families) == 0 {
+		return nil, errors.New("dse: no design families to explore")
+	}
+	if opts.Workloads == nil {
+		s.wls = workload.Specs()
+	} else {
+		for _, name := range opts.Workloads {
+			wl, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("dse: unknown workload %q", name)
+			}
+			s.wls = append(s.wls, wl)
+		}
+	}
+	if len(s.wls) == 0 {
+		return nil, errors.New("dse: no workloads to evaluate on")
+	}
+	s.spaceIdx = map[string]int{}
+	for _, info := range s.families {
+		specs, err := info.Enumerate(s.enumOpts)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			if _, dup := s.spaceIdx[spec.Name]; dup {
+				continue
+			}
+			s.spaceIdx[spec.Name] = len(s.space)
+			s.space = append(s.space, spec)
+		}
+	}
+	if len(s.space) == 0 {
+		return nil, errors.New("dse: the selected families enumerate to an empty space")
+	}
+	s.runner = &exp.Runner{
+		Scale:        opts.Scale,
+		InstrPerCore: opts.InstrPerCore,
+		Seed:         opts.SimSeed,
+		Parallelism:  opts.Parallelism,
+	}
+	return s, nil
+}
+
+// fingerprint encodes every option the round sequence depends on —
+// including the budget, which sets the exploration/hill-climb phase
+// boundary. Pausing and resuming therefore happens at a fixed budget
+// (interrupt via MaxRounds or cancellation), never by growing it.
+func (s *searcher) fingerprint() string {
+	fams := make([]string, len(s.families))
+	for i, f := range s.families {
+		fams[i] = f.Name
+	}
+	wls := make([]string, len(s.wls))
+	for i, wl := range s.wls {
+		wls[i] = wl.Name
+	}
+	return fmt.Sprintf("v%d|fam=%s|wl=%s|budget=%d|seed=%d|simseed=%d|scale=%d|instr=%d|ratio=%d|batch=%d|maxvals=%d|ubound=%d",
+		checkpointVersion, strings.Join(fams, ","), strings.Join(wls, ","), s.opts.Budget,
+		s.opts.Seed, s.opts.SimSeed, s.opts.Scale, s.opts.InstrPerCore,
+		s.opts.Ratio16, s.opts.BatchSize, s.enumOpts.MaxPerParam, s.enumOpts.UnboundedMax)
+}
+
+// restore loads a checkpoint into the searcher.
+func (s *searcher) restore(ck *checkpoint) error {
+	if want := s.fingerprint(); ck.Fingerprint != want {
+		return fmt.Errorf("dse: resume: checkpoint was written by a different search\n  checkpoint: %s\n  options:    %s", ck.Fingerprint, want)
+	}
+	if ck.SpaceSize != len(s.space) {
+		return fmt.Errorf("dse: resume: checkpoint space size %d, options enumerate %d", ck.SpaceSize, len(s.space))
+	}
+	if len(ck.BaselineCycles) != len(s.wls) {
+		return fmt.Errorf("dse: resume: checkpoint has %d baseline runs for %d workloads", len(ck.BaselineCycles), len(s.wls))
+	}
+	for _, p := range ck.Evaluated {
+		if _, ok := s.spaceIdx[p.Design]; !ok {
+			return fmt.Errorf("dse: resume: checkpointed design %q is outside the search space", p.Design)
+		}
+	}
+	s.rng.state = ck.RNG
+	s.rounds = ck.Rounds
+	s.baseline = ck.BaselineCycles
+	s.record(ck.Evaluated)
+	s.resumed = true
+	return nil
+}
+
+// evalBaseline runs the no-NM baseline once per workload — the
+// normalization point of every candidate's speedup.
+func (s *searcher) evalBaseline(ctx context.Context) error {
+	runs := make([]exp.RunSpec, len(s.wls))
+	for i, wl := range s.wls {
+		runs[i] = exp.RunSpec{Workload: wl, Design: "Baseline", Ratio16: 1}
+	}
+	res, err := s.runner.ResultsParallelCtx(ctx, runs)
+	if err != nil {
+		return fmt.Errorf("dse: baseline: %w", err)
+	}
+	s.baseline = make([]uint64, len(s.wls))
+	for i, r := range res {
+		if r.Cycles == 0 {
+			return fmt.Errorf("dse: baseline run of %s completed no cycles", s.wls[i].Name)
+		}
+		s.baseline[i] = uint64(r.Cycles)
+	}
+	return nil
+}
+
+// done reports whether the search has nothing left to do.
+func (s *searcher) done() bool {
+	if s.opts.Budget > 0 && len(s.evald) >= s.opts.Budget {
+		return true
+	}
+	return len(s.evald) >= len(s.space)
+}
+
+// nextBatch generates the next round of candidates. Only random picks
+// advance the RNG, so exhaustive searches are RNG-independent.
+func (s *searcher) nextBatch() []design.Spec {
+	var unseen []design.Spec
+	for _, c := range s.space {
+		if !s.seen[c.Name] {
+			unseen = append(unseen, c)
+		}
+	}
+	if len(unseen) == 0 {
+		return nil
+	}
+	b := s.opts.BatchSize
+	if b > len(unseen) {
+		b = len(unseen)
+	}
+	if s.opts.Budget <= 0 || len(s.space) <= s.opts.Budget {
+		return unseen[:b] // exhaustive: enumeration order
+	}
+	if len(s.evald) < s.opts.Budget/2 {
+		return s.randomPick(unseen, b) // exploration phase
+	}
+	// Hill-climb: the unseen ladder neighbors of the frontier,
+	// name-sorted, topped up randomly when the neighborhood runs dry.
+	var nbrs []design.Spec
+	inBatch := map[string]bool{}
+	for _, p := range s.front.sortedByName() {
+		spec := s.space[s.spaceIdx[p.Design]]
+		ns, err := spec.Info.Neighbors(spec, s.enumOpts)
+		if err != nil {
+			continue // enumeration bounds were already validated
+		}
+		for _, n := range ns {
+			if _, ok := s.spaceIdx[n.Name]; !ok {
+				continue
+			}
+			if s.seen[n.Name] || inBatch[n.Name] {
+				continue
+			}
+			inBatch[n.Name] = true
+			nbrs = append(nbrs, n)
+		}
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].Name < nbrs[j].Name })
+	if len(nbrs) > b {
+		nbrs = nbrs[:b]
+	}
+	if len(nbrs) < b {
+		rest := unseen[:0:0]
+		for _, c := range unseen {
+			if !inBatch[c.Name] {
+				rest = append(rest, c)
+			}
+		}
+		nbrs = append(nbrs, s.randomPick(rest, b-len(nbrs))...)
+	}
+	return nbrs
+}
+
+// randomPick draws up to k distinct candidates from pool via the
+// checkpointed RNG (swap-remove sampling without replacement).
+func (s *searcher) randomPick(pool []design.Spec, k int) []design.Spec {
+	pool = append([]design.Spec(nil), pool...)
+	if k > len(pool) {
+		k = len(pool)
+	}
+	out := make([]design.Spec, 0, k)
+	for range k {
+		i := s.rng.intn(len(pool))
+		out = append(out, pool[i])
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+	}
+	return out
+}
+
+// evalBatch evaluates one round: every (candidate, workload) run fans
+// out through the parallel runner at once. A canceled context aborts the
+// whole round (nothing of it is recorded); a candidate whose runs fail
+// for any other reason becomes an infeasible point.
+func (s *searcher) evalBatch(ctx context.Context, batch []design.Spec) ([]Point, error) {
+	runs := make([]exp.RunSpec, 0, len(batch)*len(s.wls))
+	for _, c := range batch {
+		for _, wl := range s.wls {
+			runs = append(runs, exp.RunSpec{Workload: wl, Design: c.Name, Ratio16: s.opts.Ratio16})
+		}
+	}
+	res, _ := s.runner.ResultsParallelCtx(ctx, runs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pts := make([]Point, len(batch))
+	for i, c := range batch {
+		pts[i] = s.score(c, res[i*len(s.wls):(i+1)*len(s.wls)])
+	}
+	return pts, nil
+}
+
+// score folds one candidate's per-workload results into its objective
+// vector. A zero-cycle slot marks a failed run; its memoized error is
+// recalled (for free) to label the infeasible point.
+func (s *searcher) score(c design.Spec, res []sim.Result) Point {
+	p := Point{Design: c.Name}
+	var logSpeedup, traffic float64
+	for i, r := range res {
+		if r.Cycles == 0 {
+			p.Infeasible = true
+			if _, err := s.runner.ResultErr(s.wls[i], c.Name, s.opts.Ratio16); err != nil {
+				p.Err = err.Error()
+			} else {
+				p.Err = "zero-cycle run"
+			}
+			return p
+		}
+		logSpeedup += math.Log(float64(s.baseline[i]) / float64(r.Cycles))
+		traffic += float64(r.Mem.NMWriteBytes + r.Mem.FMWriteBytes)
+	}
+	n := float64(len(res))
+	p.Speedup = math.Exp(logSpeedup / n)
+	p.TrafficGB = traffic / n / 1e9
+	p.CapacityMB = capacityMB(c, s.opts.Ratio16)
+	return p
+}
+
+// capacityMB resolves the capacity objective of a candidate: the
+// paper-scale DRAM-cache size for families that parameterize it, the
+// full near-memory size for the rest, zero for NM-less designs.
+func capacityMB(c design.Spec, ratio16 int) float64 {
+	for i, p := range c.Info.Params {
+		if p.Name == "cacheMB" {
+			return float64(c.Values[i].Int)
+		}
+	}
+	if c.Info.NeedsNM {
+		return float64(ratio16) * 1024 // ratio16/16 of 16 GB FM, in MB
+	}
+	return 0
+}
+
+// merge folds a completed round into the search state.
+func (s *searcher) merge(pts []Point) {
+	s.record(pts)
+	s.rounds++
+}
+
+// record folds evaluated points into the evaluation trail and frontier.
+func (s *searcher) record(pts []Point) {
+	for _, p := range pts {
+		if s.seen[p.Design] {
+			continue
+		}
+		s.seen[p.Design] = true
+		s.evald = append(s.evald, p)
+		s.front.add(p)
+	}
+}
+
+// flush rewrites the checkpoint, if one is configured.
+func (s *searcher) flush() error {
+	if s.opts.Checkpoint == "" {
+		return nil
+	}
+	return saveCheckpoint(s.opts.Checkpoint, &checkpoint{
+		Version:        checkpointVersion,
+		Fingerprint:    s.fingerprint(),
+		RNG:            s.rng.state,
+		Rounds:         s.rounds,
+		SpaceSize:      len(s.space),
+		BaselineCycles: s.baseline,
+		Evaluated:      s.evald,
+	})
+}
+
+// emit streams a progress event.
+func (s *searcher) emit(done bool) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.opts.Progress(Event{
+		Round:        s.rounds,
+		Evaluated:    len(s.evald),
+		Budget:       s.opts.Budget,
+		SpaceSize:    len(s.space),
+		FrontierSize: len(s.front.pts),
+		Done:         done,
+	})
+}
+
+// result assembles the (possibly partial) outcome.
+func (s *searcher) result() Result {
+	return Result{
+		Frontier:  s.front.sorted(),
+		Evaluated: append([]Point(nil), s.evald...),
+		SpaceSize: len(s.space),
+		Rounds:    s.rounds,
+		Resumed:   s.resumed,
+	}
+}

@@ -1,0 +1,22 @@
+package dse
+
+// rng is a splitmix64 generator. The search uses it instead of math/rand
+// because its entire state is one uint64 that serializes into the
+// checkpoint: a resumed search continues the exact random sequence the
+// interrupted one would have drawn, which the resume-determinism
+// guarantee depends on.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). The modulo bias is irrelevant for
+// candidate sampling and keeps the draw a single state step.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCanceledContextAbortsParallelSweep asserts that a pre-canceled
+// context fails the whole sweep with ctx.Err() without simulating
+// anything: every error slot is the cancellation, and the call returns
+// far faster than the sweep would take to run.
+func TestCanceledContextAbortsParallelSweep(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		r := tiny()
+		r.Parallelism = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		specs := r.SweepSpecs(withBaseline(MainDesigns), []int{1, 2, 4})
+		start := time.Now()
+		res, err := r.ResultsParallelCtx(ctx, specs)
+		if err == nil {
+			t.Fatalf("parallelism %d: canceled sweep returned no error", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism %d: error %v is not context.Canceled", workers, err)
+		}
+		for i, sr := range res {
+			if sr.Cycles != 0 {
+				t.Fatalf("parallelism %d: run %d executed despite cancellation", workers, i)
+			}
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Errorf("parallelism %d: canceled sweep took %v", workers, d)
+		}
+	}
+}
+
+// TestCancelMidSweepAbandonsQueuedWork cancels after the first completed
+// run and asserts the queued remainder is skipped, not simulated: with a
+// single worker the runs execute in index order, so everything after the
+// cancellation point must settle as ctx.Err().
+func TestCancelMidSweepAbandonsQueuedWork(t *testing.T) {
+	r := tiny()
+	r.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	specs := r.SweepSpecs(withBaseline([]string{"HYBRID2", "MPOD", "TAGLESS"}), []int{1})
+	ran := 0
+	out := make([]error, len(specs))
+	err := r.parallelForCtx(ctx, len(specs), func(i int) error {
+		ran++
+		if ran == 1 {
+			cancel()
+		}
+		_, err := r.ResultErr(specs[i].Workload, specs[i].Design, specs[i].Ratio16)
+		out[i] = err
+		return err
+	})
+	if ran != 1 {
+		t.Fatalf("%d runs executed after cancellation, want 1", ran)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined error %v is not context.Canceled", err)
+	}
+}
+
+// TestSweepCtxBackgroundMatchesSweep pins that the context plumbing does
+// not change results: the same sweep through SweepCtx(Background) and
+// Sweep produces identical memoized results.
+func TestSweepCtxBackgroundMatchesSweep(t *testing.T) {
+	a, b := tiny(), tiny()
+	designs := withBaseline([]string{"HYBRID2"})
+	if err := a.Sweep(designs, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SweepCtx(context.Background(), designs, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range a.Workloads() {
+		for _, d := range designs {
+			if a.Result(wl, d, 1) != b.Result(wl, d, 1) {
+				t.Fatalf("%s/%s: SweepCtx result differs from Sweep", wl.Name, d)
+			}
+		}
+	}
+}
+
+// TestResultErrCtxCanceled pins the single-run cancellation point.
+func TestResultErrCtxCanceled(t *testing.T) {
+	r := tiny()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.ResultErrCtx(ctx, r.Workloads()[0], "HYBRID2", 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v is not context.Canceled", err)
+	}
+}

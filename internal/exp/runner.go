@@ -16,6 +16,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -182,6 +183,17 @@ func (r *Runner) ResultErr(wl workload.Spec, designName string, ratio16 int) (si
 	return f.res, f.err
 }
 
+// ResultErrCtx is ResultErr with cancellation: a canceled context fails
+// fast with ctx.Err() before any simulation state is built. A run already
+// in flight on another goroutine is not interrupted — simulations are
+// short — but no new work starts after cancellation.
+func (r *Runner) ResultErrCtx(ctx context.Context, wl workload.Spec, designName string, ratio16 int) (sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	return r.ResultErr(wl, designName, ratio16)
+}
+
 // Result is the panicking convenience form of ResultErr, for call sites
 // whose design names are statically known to be well-formed.
 func (r *Runner) Result(wl workload.Spec, designName string, ratio16 int) sim.Result {
@@ -193,12 +205,24 @@ func (r *Runner) Result(wl workload.Spec, designName string, ratio16 int) sim.Re
 }
 
 // parallelFor runs fn(i) for every i in [0, n) across the runner's
-// worker pool, serially when one worker suffices. Errors are joined in
-// index order; one failing index never aborts the others. A panic inside
-// fn settles as that index's error instead of escaping on a worker
-// goroutine, where no caller's recover could catch it.
+// worker pool without a cancellation point; see parallelForCtx.
 func (r *Runner) parallelFor(n int, fn func(i int) error) error {
+	return r.parallelForCtx(context.Background(), n, fn)
+}
+
+// parallelForCtx runs fn(i) for every i in [0, n) across the runner's
+// worker pool, serially when one worker suffices. Errors are joined in
+// index order; one failing index never aborts the others, but a canceled
+// context stops promptly: indices not yet dispatched are never run and
+// settle as ctx.Err(), and each worker re-checks the context before
+// starting a queued index. A panic inside fn settles as that index's
+// error instead of escaping on a worker goroutine, where no caller's
+// recover could catch it.
+func (r *Runner) parallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
 	call := func(i int) (err error) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("exp: parallel run %d: %v", i, p)
@@ -225,8 +249,16 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -242,8 +274,16 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 // whose design name is malformed report errors (joined, one per bad run)
 // without aborting the rest of the sweep; their result slots are zero.
 func (r *Runner) ResultsParallel(specs []RunSpec) ([]sim.Result, error) {
+	return r.ResultsParallelCtx(context.Background(), specs)
+}
+
+// ResultsParallelCtx is ResultsParallel with cancellation: when ctx is
+// canceled, queued runs are abandoned promptly (their error slots settle
+// as ctx.Err()) while runs already executing finish and land in the memo
+// cache as usual.
+func (r *Runner) ResultsParallelCtx(ctx context.Context, specs []RunSpec) ([]sim.Result, error) {
 	out := make([]sim.Result, len(specs))
-	err := r.parallelFor(len(specs), func(i int) error {
+	err := r.parallelForCtx(ctx, len(specs), func(i int) error {
 		var err error
 		out[i], err = r.ResultErr(specs[i].Workload, specs[i].Design, specs[i].Ratio16)
 		return err
@@ -270,7 +310,13 @@ func (r *Runner) SweepSpecs(designs []string, ratios []int) []RunSpec {
 // Sweep evaluates every (workload, design, ratio) combination in
 // parallel, warming the memo cache so subsequent Result calls are free.
 func (r *Runner) Sweep(designs []string, ratios []int) error {
-	_, err := r.ResultsParallel(r.SweepSpecs(designs, ratios))
+	return r.SweepCtx(context.Background(), designs, ratios)
+}
+
+// SweepCtx is Sweep with cancellation: a canceled context abandons the
+// queued remainder of the cross product promptly.
+func (r *Runner) SweepCtx(ctx context.Context, designs []string, ratios []int) error {
+	_, err := r.ResultsParallelCtx(ctx, r.SweepSpecs(designs, ratios))
 	return err
 }
 
