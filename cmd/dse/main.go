@@ -20,7 +20,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -114,12 +113,14 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		data, err := json.MarshalIndent(res, "", "  ")
+		// The canonical versioned wire document — the same mapping and
+		// bytes the hybridmemd server emits for this search.
+		data, err := res.WireJSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dse:", err)
 			os.Exit(1)
 		}
-		fmt.Println(string(data))
+		os.Stdout.Write(data)
 		return
 	}
 	printFrontier(res)

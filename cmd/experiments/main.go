@@ -9,9 +9,17 @@
 //	experiments -parallel 1      # force serial execution
 //	experiments -designs         # the design registry as a Markdown table
 //
+//	experiments -runjson HYBRID2@lbm          # one run, shared JSON schema
+//	experiments -sweepjson Baseline,HYBRID2@lbm,mcf
+//
 // Independent simulation runs fan out across -parallel workers (all CPUs
 // by default); results are deterministic and identical to a serial run.
 // Results are printed to stdout; EXPERIMENTS.md records a full run.
+//
+// -runjson and -sweepjson emit the versioned wire encoding of
+// internal/api — byte-identical to what the hybridmemd server returns
+// for the equivalent request, which CI diffs to prove the server path
+// changes nothing.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"hybridmem"
+	"hybridmem/internal/api"
 	"hybridmem/internal/exp"
 )
 
@@ -37,10 +46,20 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
 	jsonDir := flag.String("json", "", "also write each artifact as JSON into this directory")
 	designs := flag.Bool("designs", false, "print the design registry as a Markdown table (the README's Designs section), then exit")
+	ratio := flag.Int("ratio", 1, "NM:FM capacity ratio in sixteenths for -runjson/-sweepjson (1, 2 or 4)")
+	runJSON := flag.String("runjson", "", "run one DESIGN@WORKLOAD and print the shared JSON result encoding, then exit")
+	sweepJSON := flag.String("sweepjson", "", "run a D1,D2,...@W1,W2,... sweep and print the shared JSON result encoding, then exit")
 	flag.Parse()
 
 	if *designs {
 		printDesignTable()
+		return
+	}
+	if *runJSON != "" || *sweepJSON != "" {
+		if err := emitJSON(*runJSON, *sweepJSON, *scale, *ratio, *instr, *seed, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -165,6 +184,75 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("-- %d artifact(s) in %v --\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// emitJSON runs the -runjson or -sweepjson selection through the same
+// engine path the server uses and prints the shared wire document —
+// the byte-identical CLI counterpart CI diffs server responses against.
+func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, parallel int) error {
+	sel := runSel
+	if sel == "" {
+		sel = sweepSel
+	}
+	designs, workloads, err := parseRuns(sel)
+	if err != nil {
+		return err
+	}
+	if runSel != "" && (len(designs) != 1 || len(workloads) != 1) {
+		return fmt.Errorf("-runjson takes exactly one DESIGN@WORKLOAD, got %q", runSel)
+	}
+	for _, d := range designs {
+		if err := hybridmem.ValidateDesign(d); err != nil {
+			return err
+		}
+	}
+	cfg := hybridmem.Config{Scale: scale, NMRatio16: ratio, InstrPerCore: instr, Seed: seed}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r := &exp.Runner{Scale: scale, InstrPerCore: instr, Seed: seed, Parallelism: parallel}
+	specs, err := exp.SweepSpecsByName(designs, workloads, ratio)
+	if err != nil {
+		return err
+	}
+	results, err := r.ResultsParallel(specs)
+	if err != nil {
+		return err
+	}
+	var doc any
+	if runSel != "" {
+		doc = api.NewRun(results[0])
+	} else {
+		doc = api.NewSweep(results)
+	}
+	data, err := api.Encode(doc)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}
+
+// parseRuns splits "D1,D2@W1,W2" into design and workload lists.
+func parseRuns(sel string) (designs, workloads []string, err error) {
+	parts := strings.Split(sel, "@")
+	if len(parts) != 2 {
+		return nil, nil, fmt.Errorf("selection %q is not DESIGNS@WORKLOADS", sel)
+	}
+	split := func(s string) []string {
+		var out []string
+		for _, f := range strings.Split(s, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	designs, workloads = split(parts[0]), split(parts[1])
+	if len(designs) == 0 || len(workloads) == 0 {
+		return nil, nil, fmt.Errorf("selection %q needs at least one design and one workload", sel)
+	}
+	return designs, workloads, nil
 }
 
 // printDesignTable renders the registry as the Markdown table the README

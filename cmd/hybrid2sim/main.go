@@ -62,8 +62,8 @@ func run() error {
 	if *scale < 1 {
 		return fmt.Errorf("-scale must be >= 1, got %d", *scale)
 	}
-	if *ratio < 1 {
-		return fmt.Errorf("-ratio must be >= 1, got %d", *ratio)
+	if *ratio != 1 && *ratio != 2 && *ratio != 4 {
+		return fmt.Errorf("-ratio must be 1, 2 or 4, got %d", *ratio)
 	}
 
 	if *traceFile != "" {

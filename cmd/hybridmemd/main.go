@@ -1,0 +1,81 @@
+// Command hybridmemd is the simulation-as-a-service daemon: a long-lived
+// HTTP server multiplexing many clients over the simulation engines,
+// with a content-addressed result cache, singleflight deduplication,
+// async jobs with SSE progress, and streaming trace upload.
+//
+// Usage:
+//
+//	hybridmemd                            # listen on :8080, in-memory
+//	hybridmemd -addr 127.0.0.1:9090
+//	hybridmemd -state /var/lib/hybridmem  # persist jobs, results, checkpoints
+//
+// Endpoints (see internal/serve and the README's Serving section):
+//
+//	GET  /healthz   GET /metrics   GET /v1/designs   GET /v1/workloads
+//	POST /v1/run    POST /v1/sweep POST /v1/explore  POST /v1/replay
+//	GET  /v1/jobs/{id}[/events|/result]
+//
+// SIGTERM or SIGINT drains gracefully: health flips to 503, new jobs are
+// rejected, and in-flight work gets -drain to finish (interrupted
+// explorations flush a checkpoint and resume on the next start when
+// -state is set). A clean drain exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridmem"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "TCP listen address")
+	state := flag.String("state", "", "state directory for job specs, results and exploration checkpoints (empty: in-memory only)")
+	cacheEntries := flag.Int("cache-entries", 1024, "result-cache entry bound")
+	cacheMB := flag.Int64("cache-mb", 64, "result-cache byte bound, in MB")
+	queue := flag.Int("queue", 64, "async job queue depth")
+	workers := flag.Int("workers", 2, "async job workers")
+	parallel := flag.Int("parallel", 0, "simulations evaluated concurrently per job (0: all CPUs)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
+	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "hybridmemd: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logf("signal received; draining (up to %v)", *drain)
+		// Restore default signal handling so a second signal kills the
+		// process instead of being swallowed while the drain runs.
+		stop()
+	}()
+
+	err := hybridmem.Serve(ctx, hybridmem.ServeOptions{
+		Addr:         *addr,
+		StateDir:     *state,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   *cacheMB << 20,
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		Parallelism:  *parallel,
+		DrainTimeout: *drain,
+		Logf:         logf,
+		OnListen:     func(addr string) { logf("listening on %s", addr) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridmemd:", err)
+		os.Exit(1)
+	}
+	logf("drained cleanly")
+}

@@ -1,0 +1,207 @@
+// Serveclient walks through the simulation service end to end, fully
+// self-contained: it boots hybridmem.Serve in-process on a random port,
+// then drives it exactly like a remote client would — a synchronous run
+// served twice (the second from the content-addressed cache), an async
+// sweep followed over server-sent events, a streamed trace upload, and
+// the metrics that account for all of it.
+//
+//	go run ./examples/serveclient
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"hybridmem"
+)
+
+// serve boots the service on a random local port, reporting the bound
+// address on listening, and blocks until ctx cancels and the drain
+// completes.
+func serve(ctx context.Context, listening chan<- string) error {
+	return hybridmem.Serve(ctx, hybridmem.ServeOptions{
+		Addr:     "127.0.0.1:0",
+		OnListen: func(addr string) { listening <- addr },
+	})
+}
+
+const runBody = `{
+  "design": "HYBRID2",
+  "workload": "lbm",
+  "config": {"scale": 16, "nm_ratio16": 1, "instr_per_core": 200000, "seed": 1}
+}`
+
+const sweepBody = `{
+  "designs": ["Baseline", "HYBRID2", "MPOD"],
+  "workloads": ["lbm", "mcf"],
+  "config": {"scale": 16, "nm_ratio16": 1, "instr_per_core": 100000, "seed": 1}
+}`
+
+func main() {
+	log.SetFlags(0)
+
+	// Boot the service in-process; a real deployment runs cmd/hybridmemd.
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	listening := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- serve(ctx, listening)
+	}()
+	var base string
+	select {
+	case addr := <-listening:
+		base = "http://" + addr
+	case err := <-serveErr:
+		log.Fatal(err)
+	}
+	fmt.Printf("server up at %s\n\n", base)
+
+	// 1. A synchronous run. The second request is byte-identical and
+	// never touches the simulator: same fingerprint, cache hit.
+	fmt.Println("POST /v1/run (cold):")
+	first := timed(func() []byte { return post(base+"/v1/run", strings.NewReader(runBody)) })
+	fmt.Println("POST /v1/run (cached, same request):")
+	second := timed(func() []byte { return post(base+"/v1/run", strings.NewReader(runBody)) })
+	if !bytes.Equal(first, second) {
+		log.Fatal("cached response differs from cold response")
+	}
+	var run struct {
+		Result struct {
+			Cycles       uint64  `json:"cycles"`
+			IPC          float64 `json:"ipc"`
+			ServedNMFrac float64 `json:"served_nm_frac"`
+		} `json:"result"`
+	}
+	json.Unmarshal(first, &run)
+	fmt.Printf("  -> cycles %d, IPC %.3f, served-NM %.0f%%\n\n",
+		run.Result.Cycles, run.Result.IPC, run.Result.ServedNMFrac*100)
+
+	// 2. An async sweep: submit, watch progress over SSE, fetch the
+	// result document once the job settles.
+	fmt.Println("POST /v1/sweep (async job):")
+	var sub struct {
+		JobID string `json:"job_id"`
+		State string `json:"state"`
+	}
+	json.Unmarshal(post(base+"/v1/sweep", strings.NewReader(sweepBody)), &sub)
+	fmt.Printf("  job %s %s; streaming /v1/jobs/%s/events\n", sub.JobID, sub.State, sub.JobID)
+	streamEvents(base + "/v1/jobs/" + sub.JobID + "/events")
+	var sweep struct {
+		Results []struct {
+			Workload string `json:"workload"`
+			Design   string `json:"design"`
+			Cycles   uint64 `json:"cycles"`
+		} `json:"results"`
+	}
+	json.Unmarshal(get(base+"/v1/jobs/"+sub.JobID+"/result"), &sweep)
+	for _, r := range sweep.Results {
+		fmt.Printf("  %-8s %-8s %12d cycles\n", r.Design, r.Workload, r.Cycles)
+	}
+	fmt.Println()
+
+	// 3. Trace upload: the request body is the trace itself, streamed —
+	// the server never buffers it, so this could be gigabytes.
+	fmt.Println("POST /v1/replay (streamed trace body):")
+	pr, pw := io.Pipe()
+	go func() {
+		defer pw.Close()
+		w := bufio.NewWriter(pw)
+		defer w.Flush()
+		for i := 0; i < 400_000; i++ {
+			op := "R"
+			if (i/8)%16 == 0 {
+				op = "W"
+			}
+			fmt.Fprintf(w, "%d 3 %x %s\n", i%8, uint64(i)*64%(1<<28), op)
+		}
+	}()
+	var replay struct {
+		Result struct {
+			Cycles   uint64 `json:"cycles"`
+			Requests uint64 `json:"requests"`
+		} `json:"result"`
+	}
+	json.Unmarshal(post(base+"/v1/replay?design=HYBRID2&name=synthetic&mlp=2", pr), &replay)
+	fmt.Printf("  -> replayed %d requests in %d cycles\n\n", replay.Result.Requests, replay.Result.Cycles)
+
+	// 4. The metrics that accounted for all of the above.
+	fmt.Println("GET /metrics (excerpt):")
+	for _, line := range strings.Split(string(get(base+"/metrics")), "\n") {
+		if strings.HasPrefix(line, "hybridmem_cache_") ||
+			strings.HasPrefix(line, "hybridmem_singleflight_") ||
+			strings.HasPrefix(line, "hybridmem_jobs_total") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	// Shut the service down gracefully and wait for the clean drain.
+	stop()
+	if err := <-serveErr; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver drained cleanly")
+}
+
+func post(url string, body io.Reader) []byte {
+	resp, err := http.Post(url, "application/json", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, data)
+	}
+	return data
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, data)
+	}
+	return data
+}
+
+// timed runs fn and reports its wall-clock time — the cache hit's
+// microseconds against the cold run's milliseconds.
+func timed(fn func() []byte) []byte {
+	start := time.Now()
+	out := fn()
+	fmt.Printf("  served in %v\n", time.Since(start).Round(10*time.Microsecond))
+	return out
+}
+
+// streamEvents follows a job's SSE stream until its done event.
+func streamEvents(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Printf("    %-8s %s\n", event, strings.TrimPrefix(line, "data: "))
+		}
+	}
+}

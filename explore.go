@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hybridmem/internal/api"
 	"hybridmem/internal/dse"
 )
 
@@ -114,6 +115,22 @@ type ExploreResult struct {
 	// identical for interrupted-and-resumed and uninterrupted runs.
 	Resumed  bool `json:"-"`
 	Complete bool `json:"-"`
+
+	// wire is the canonical versioned document of this exploration,
+	// captured from the search engine's single wire mapping.
+	wire []byte
+}
+
+// WireJSON returns the exploration as the canonical versioned JSON
+// document (the internal/api schema, with a top-level "schema" field) —
+// the exact bytes the hybridmemd server serves for an identical
+// exploration, produced by the same mapping. It is only available on
+// results returned by Explore.
+func (r ExploreResult) WireJSON() ([]byte, error) {
+	if r.wire == nil {
+		return nil, fmt.Errorf("hybridmem: WireJSON is only available on results returned by Explore")
+	}
+	return r.wire, nil
 }
 
 // Explore searches the registered design space for Pareto-optimal
@@ -136,8 +153,8 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 		cfg = DefaultConfig()
 		cfg.InstrPerCore = 200_000
 	}
-	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
-		return ExploreResult{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	if err := cfg.Validate(); err != nil {
+		return ExploreResult{}, err
 	}
 	var progress func(dse.Event)
 	if opts.Progress != nil {
@@ -177,6 +194,9 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 		Batches:   res.Rounds,
 		Resumed:   res.Resumed,
 		Complete:  res.Complete,
+	}
+	if wire, werr := api.Encode(res.APIDoc()); werr == nil {
+		out.wire = wire
 	}
 	if err != nil {
 		return out, fmt.Errorf("hybridmem: %w", err)

@@ -38,13 +38,17 @@
 // searches the registered design space for Pareto-optimal organizations
 // (speedup vs DRAM capacity vs memory write traffic) under an
 // evaluation budget, with per-batch checkpointing and deterministic
-// resume — the paper's H2DSE exploration as an API.
+// resume — the paper's H2DSE exploration as an API. Serve exposes all
+// of it as a long-lived HTTP service (cmd/hybridmemd) with a
+// content-addressed result cache, singleflight deduplication, async
+// jobs with streaming progress, and streaming trace upload.
 package hybridmem
 
 import (
 	"fmt"
 	"io"
 
+	"hybridmem/internal/api"
 	"hybridmem/internal/config"
 	"hybridmem/internal/design"
 	"hybridmem/internal/exp"
@@ -75,6 +79,17 @@ func DefaultConfig() Config {
 		InstrPerCore: 1_000_000,
 		Seed:         1,
 	}
+}
+
+// Validate reports why a configuration is unusable, nil when every entry
+// point (Run, RunAll, RunCustom, ReplayTrace, Explore) would accept it.
+// It is cheap — no simulation state is built — so servers can reject bad
+// requests up front.
+func (c Config) Validate() error {
+	if err := config.ValidateRun(c.Scale, c.NMRatio16, c.InstrPerCore); err != nil {
+		return fmt.Errorf("hybridmem: invalid Config: %w", err)
+	}
+	return nil
 }
 
 // Result reports the measurements of one run.
@@ -194,8 +209,8 @@ func Run(design, workloadName string, cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("hybridmem: unknown workload %q", workloadName)
 	}
-	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
-		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
 	sr, err := r.ResultErr(spec, design, cfg.NMRatio16)
@@ -223,8 +238,8 @@ type SweepOptions struct {
 // order — the paper's figure layout. A malformed design or workload name
 // fails the whole sweep with an error identifying it.
 func RunAll(cfg Config, opts SweepOptions) ([]Result, error) {
-	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
-		return nil, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	designs := opts.Designs
 	if designs == nil {
@@ -302,8 +317,8 @@ func RunCustom(design string, w Workload, cfg Config) (Result, error) {
 	if w.FootprintGB <= 0 || w.APKI <= 0 {
 		return Result{}, fmt.Errorf("hybridmem: workload needs positive FootprintGB and APKI")
 	}
-	if cfg.Scale < 1 || cfg.NMRatio16 < 1 || cfg.InstrPerCore == 0 {
-		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	kind := workload.MP
 	if w.MultiThreaded {
@@ -363,8 +378,8 @@ type ReplayOptions struct {
 // auto-detected (see internal/trace for the specs; cmd/tracegen emits
 // traces, cmd/traceconv converts between encodings).
 func ReplayTrace(design, name string, r io.Reader, opts ReplayOptions, cfg Config) (Result, error) {
-	if cfg.Scale < 1 || cfg.NMRatio16 < 1 {
-		return Result{}, fmt.Errorf("hybridmem: invalid config %+v", cfg)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	mlp := opts.MLP
 	if mlp < 1 {
@@ -383,21 +398,24 @@ func ReplayTrace(design, name string, r io.Reader, opts ReplayOptions, cfg Confi
 	return fromSim(sr), nil
 }
 
-// fromSim converts an internal simulation result to the public form.
+// fromSim converts an internal simulation result to the public form,
+// through the same field mapping the JSON wire encoding uses
+// (internal/api), so API values and served documents cannot drift apart.
 func fromSim(sr sim.Result) Result {
+	a := api.FromSim(sr)
 	return Result{
-		Workload:       sr.Workload,
-		Design:         sr.Design,
-		Cycles:         uint64(sr.Cycles),
-		Instructions:   sr.Instructions,
-		IPC:            sr.IPC,
-		MPKI:           sr.MPKI,
-		Requests:       sr.Mem.Requests,
-		ServedNMFrac:   sr.ServedNMFrac(),
-		NMTrafficBytes: sr.Mem.NMTraffic(),
-		FMTrafficBytes: sr.Mem.FMTraffic(),
-		MetaNMBytes:    sr.Mem.MetaNMBytes,
-		Migrations:     sr.Mem.Migrations,
-		EnergyNanoJ:    sr.DynamicEnergyNJ(),
+		Workload:       a.Workload,
+		Design:         a.Design,
+		Cycles:         a.Cycles,
+		Instructions:   a.Instructions,
+		IPC:            a.IPC,
+		MPKI:           a.MPKI,
+		Requests:       a.Requests,
+		ServedNMFrac:   a.ServedNMFrac,
+		NMTrafficBytes: a.NMTrafficBytes,
+		FMTrafficBytes: a.FMTrafficBytes,
+		MetaNMBytes:    a.MetaNMBytes,
+		Migrations:     a.Migrations,
+		EnergyNanoJ:    a.EnergyNanoJ,
 	}
 }

@@ -72,6 +72,54 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero scale", func(c *Config) { c.Scale = 0 }, "Scale"},
+		{"negative scale", func(c *Config) { c.Scale = -3 }, "Scale"},
+		{"ratio 0", func(c *Config) { c.NMRatio16 = 0 }, "NMRatio16"},
+		{"ratio 3", func(c *Config) { c.NMRatio16 = 3 }, "NMRatio16"},
+		{"ratio 8", func(c *Config) { c.NMRatio16 = 8 }, "NMRatio16"},
+		{"zero instr", func(c *Config) { c.InstrPerCore = 0 }, "InstrPerCore"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the bad field %s", tc.name, err, tc.want)
+		}
+		// Every entry point rejects the same configurations up front.
+		if _, rerr := Run("HYBRID2", "lbm", cfg); rerr == nil {
+			t.Errorf("%s: Run accepted", tc.name)
+		}
+		if _, rerr := RunAll(cfg, SweepOptions{Designs: []string{"Baseline"}, Workloads: []string{"lbm"}}); rerr == nil {
+			t.Errorf("%s: RunAll accepted", tc.name)
+		}
+		if _, rerr := ReplayTrace("HYBRID2", "t", strings.NewReader("0 1 40 R\n"), ReplayOptions{MLP: 2}, cfg); rerr == nil {
+			t.Errorf("%s: ReplayTrace accepted", tc.name)
+		}
+	}
+	// NMRatio16 2 and 4 are paper configurations and must stay valid.
+	for _, ratio := range []int{2, 4} {
+		cfg := DefaultConfig()
+		cfg.NMRatio16 = ratio
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("ratio %d rejected: %v", ratio, err)
+		}
+	}
+}
+
 func TestRunAllSweep(t *testing.T) {
 	cfg := quickCfg()
 	opts := SweepOptions{Workloads: []string{"lbm", "namd"}, Designs: []string{"Baseline", "HYBRID2"}}

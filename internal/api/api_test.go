@@ -1,0 +1,167 @@
+package api
+
+import (
+	"testing"
+
+	"hybridmem/internal/memtypes"
+	"hybridmem/internal/sim"
+)
+
+// fixture is a fully populated simulation result with easily recognized
+// values, so every wire field's mapping and formatting is visible in the
+// golden bytes below.
+func fixture() sim.Result {
+	return sim.Result{
+		Workload:     "lbm",
+		Design:       "HYBRID2",
+		Cycles:       1000,
+		Instructions: 4000,
+		IPC:          4,
+		MPKI:         12.5,
+		Mem: memtypes.MemStats{
+			Requests:     200,
+			ServedNM:     150,
+			ServedFM:     50,
+			NMReadBytes:  4096,
+			NMWriteBytes: 2048,
+			FMReadBytes:  1024,
+			FMWriteBytes: 512,
+			MetaNMBytes:  256,
+			Migrations:   3,
+		},
+		NMEnergyNJ: 1.5,
+		FMEnergyNJ: 2.25,
+	}
+}
+
+// TestGoldenRunSchema pins the exact bytes of the shared encoding: a
+// failure here means the wire schema changed, which requires bumping
+// SchemaVersion and updating every consumer deliberately.
+func TestGoldenRunSchema(t *testing.T) {
+	got, err := Encode(NewRun(fixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": 1,
+  "result": {
+    "workload": "lbm",
+    "design": "HYBRID2",
+    "cycles": 1000,
+    "instructions": 4000,
+    "ipc": 4,
+    "mpki": 12.5,
+    "requests": 200,
+    "served_nm_frac": 0.75,
+    "nm_traffic_bytes": 6144,
+    "fm_traffic_bytes": 1536,
+    "meta_nm_bytes": 256,
+    "migrations": 3,
+    "energy_nj": 3.75
+  }
+}
+`
+	if string(got) != want {
+		t.Errorf("run document schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGoldenSweepSchema(t *testing.T) {
+	base := fixture()
+	base.Design = "Baseline"
+	got, err := Encode(NewSweep([]sim.Result{base, fixture()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantPrefix = `{
+  "schema": 1,
+  "results": [
+    {
+      "workload": "lbm",
+      "design": "Baseline",`
+	if len(got) < len(wantPrefix) || string(got[:len(wantPrefix)]) != wantPrefix {
+		t.Errorf("sweep document prefix drifted:\ngot:\n%s\nwant prefix:\n%s", got, wantPrefix)
+	}
+}
+
+func TestGoldenExploreSchema(t *testing.T) {
+	doc := Explore{
+		Schema: SchemaVersion,
+		Frontier: []ExplorePoint{
+			{Design: "H2DSE-64-2-256", Speedup: 1.25, CapacityMB: 64, TrafficGB: 0.5},
+		},
+		Evaluated: []ExplorePoint{
+			{Design: "H2DSE-64-2-256", Speedup: 1.25, CapacityMB: 64, TrafficGB: 0.5},
+			{Design: "DFC-0", Infeasible: true, Err: "bad line size"},
+		},
+		SpaceSize: 9,
+		Batches:   2,
+	}
+	got, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": 1,
+  "frontier": [
+    {
+      "design": "H2DSE-64-2-256",
+      "speedup": 1.25,
+      "capacity_mb": 64,
+      "traffic_gb": 0.5
+    }
+  ],
+  "evaluated": [
+    {
+      "design": "H2DSE-64-2-256",
+      "speedup": 1.25,
+      "capacity_mb": 64,
+      "traffic_gb": 0.5
+    },
+    {
+      "design": "DFC-0",
+      "speedup": 0,
+      "capacity_mb": 0,
+      "traffic_gb": 0,
+      "infeasible": true,
+      "error": "bad line size"
+    }
+  ],
+  "space_size": 9,
+  "batches": 2
+}
+`
+	if string(got) != want {
+		t.Errorf("explore document schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestGoldenTableSchema(t *testing.T) {
+	got, err := Encode(Table{
+		Schema: SchemaVersion,
+		Title:  "Fig. 12: speedup",
+		Header: []string{"design", "geomean"},
+		Rows:   [][]string{{"HYBRID2", "1.23"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": 1,
+  "title": "Fig. 12: speedup",
+  "header": [
+    "design",
+    "geomean"
+  ],
+  "rows": [
+    [
+      "HYBRID2",
+      "1.23"
+    ]
+  ]
+}
+`
+	if string(got) != want {
+		t.Errorf("table document schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,32 @@
+// Package atomicfile writes files atomically and durably: a temp file
+// in the destination directory, fsync'd, then renamed over the target.
+// An interrupt or power loss mid-write never leaves a truncated file
+// where a recovery path would read it — shared by the DSE checkpoint
+// writer and the serve layer's job/result persistence.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with data.
+func Write(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".atomic-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

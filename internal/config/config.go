@@ -6,6 +6,8 @@
 // preserves every capacity ratio the policies depend on.
 package config
 
+import "fmt"
+
 // Table 1 processor-side constants.
 const (
 	Cores      = 8
@@ -51,6 +53,26 @@ type System struct {
 	// the paper's configuration has no prefetcher and notes that
 	// advanced prefetching is orthogonal to the proposed techniques).
 	NextLinePrefetch bool
+}
+
+// ValidateRun checks the run-configuration invariants every entry point
+// (the public API's Config.Validate, the serve layer's request
+// validation) shares: a positive capacity scale, one of the paper's
+// NM:FM ratios, and a non-zero instruction budget. Field names in the
+// errors match the public hybridmem.Config fields.
+func ValidateRun(scale, nmRatio16 int, instrPerCore uint64) error {
+	if scale < 1 {
+		return fmt.Errorf("Scale must be >= 1, got %d", scale)
+	}
+	switch nmRatio16 {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("NMRatio16 must be 1, 2 or 4 (the paper's NM:FM ratios), got %d", nmRatio16)
+	}
+	if instrPerCore == 0 {
+		return fmt.Errorf("InstrPerCore must be > 0")
+	}
+	return nil
 }
 
 // Scaled returns the system at the given scale with nmRatio16 sixteenths

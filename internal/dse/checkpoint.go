@@ -4,7 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"hybridmem/internal/atomicfile"
 )
 
 // checkpointVersion guards the schema below; a mismatch refuses resume
@@ -35,33 +36,16 @@ type checkpoint struct {
 	Evaluated      []Point  `json:"evaluated"`
 }
 
-// saveCheckpoint writes the state atomically: a temp file in the target
-// directory, fsync'd, then renamed over the destination, so an interrupt
-// mid-write never corrupts the previous checkpoint.
+// saveCheckpoint writes the state atomically and durably (temp file,
+// fsync, rename — internal/atomicfile), so an interrupt mid-write never
+// corrupts the previous checkpoint.
 func saveCheckpoint(path string, ck *checkpoint) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return fmt.Errorf("dse: marshal checkpoint: %w", err)
 	}
 	data = append(data, '\n')
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".dse-checkpoint-*")
-	if err != nil {
-		return fmt.Errorf("dse: checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("dse: checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("dse: checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("dse: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := atomicfile.Write(path, data); err != nil {
 		return fmt.Errorf("dse: checkpoint: %w", err)
 	}
 	return nil

@@ -251,6 +251,9 @@ func newSearcher(opts Options) (*searcher, error) {
 	if opts.Ratio16 <= 0 {
 		opts.Ratio16 = 1
 	}
+	if err := config.ValidateRun(opts.Scale, opts.Ratio16, opts.InstrPerCore); err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
+	}
 	// Normalize the enumeration bounds the same way EnumOptions resolves
 	// them, so the checkpoint fingerprint — which embeds them — matches
 	// between semantically identical searches (e.g. MaxPerParam 0 vs 12).

@@ -1,0 +1,33 @@
+package dse
+
+import "hybridmem/internal/api"
+
+// APIDoc renders the search outcome as the shared versioned wire
+// document of internal/api — the single search→wire mapping. The
+// hybridmemd server encodes it directly; the public layer captures the
+// same encoding on ExploreResult (WireJSON) for cmd/dse -json, so the
+// two surfaces cannot drift (the CI explore diff re-proves it).
+func (r Result) APIDoc() api.Explore {
+	return api.Explore{
+		Schema:    api.SchemaVersion,
+		Frontier:  apiPoints(r.Frontier),
+		Evaluated: apiPoints(r.Evaluated),
+		SpaceSize: r.SpaceSize,
+		Batches:   r.Rounds,
+	}
+}
+
+func apiPoints(pts []Point) []api.ExplorePoint {
+	out := make([]api.ExplorePoint, len(pts))
+	for i, p := range pts {
+		out[i] = api.ExplorePoint{
+			Design:     p.Design,
+			Speedup:    p.Speedup,
+			CapacityMB: p.CapacityMB,
+			TrafficGB:  p.TrafficGB,
+			Infeasible: p.Infeasible,
+			Err:        p.Err,
+		}
+	}
+	return out
+}

@@ -86,6 +86,46 @@ func TestSweepCtxBackgroundMatchesSweep(t *testing.T) {
 	}
 }
 
+// TestResultsParallelProgressReports asserts the progress hook fires
+// once per settled run with a strictly increasing done count reaching
+// the total, at any parallelism, and that results match the plain path.
+func TestResultsParallelProgressReports(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		r := tiny()
+		r.Parallelism = workers
+		specs := r.SweepSpecs(withBaseline([]string{"HYBRID2"}), []int{1})
+		var calls []int
+		res, err := r.ResultsParallelProgress(context.Background(), specs, func(done, total int) {
+			if total != len(specs) {
+				t.Fatalf("parallelism %d: total %d, want %d", workers, total, len(specs))
+			}
+			calls = append(calls, done)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(calls) != len(specs) {
+			t.Fatalf("parallelism %d: %d progress calls for %d runs", workers, len(calls), len(specs))
+		}
+		for i, d := range calls {
+			if d != i+1 {
+				t.Fatalf("parallelism %d: progress call %d reported done=%d", workers, i, d)
+			}
+		}
+		plain := tiny()
+		plain.Parallelism = workers
+		want, err := plain.ResultsParallel(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if res[i] != want[i] {
+				t.Fatalf("parallelism %d: run %d differs from plain parallel path", workers, i)
+			}
+		}
+	}
+}
+
 // TestResultErrCtxCanceled pins the single-run cancellation point.
 func TestResultErrCtxCanceled(t *testing.T) {
 	r := tiny()

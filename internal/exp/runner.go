@@ -282,10 +282,28 @@ func (r *Runner) ResultsParallel(specs []RunSpec) ([]sim.Result, error) {
 // as ctx.Err()) while runs already executing finish and land in the memo
 // cache as usual.
 func (r *Runner) ResultsParallelCtx(ctx context.Context, specs []RunSpec) ([]sim.Result, error) {
+	return r.ResultsParallelProgress(ctx, specs, nil)
+}
+
+// ResultsParallelProgress is ResultsParallelCtx with streaming progress:
+// when progress is non-nil it is called once per settled run with the
+// count of runs finished so far and the total — the hook long-lived
+// servers use to report sweep progress to clients. Calls are serialized
+// and done is strictly increasing, but the order in which indices settle
+// is scheduling-dependent; on cancellation, abandoned runs never report.
+func (r *Runner) ResultsParallelProgress(ctx context.Context, specs []RunSpec, progress func(done, total int)) ([]sim.Result, error) {
 	out := make([]sim.Result, len(specs))
+	var mu sync.Mutex
+	finished := 0
 	err := r.parallelForCtx(ctx, len(specs), func(i int) error {
 		var err error
 		out[i], err = r.ResultErr(specs[i].Workload, specs[i].Design, specs[i].Ratio16)
+		if progress != nil {
+			mu.Lock()
+			finished++
+			progress(finished, len(specs))
+			mu.Unlock()
+		}
 		return err
 	})
 	return out, err
@@ -305,6 +323,26 @@ func (r *Runner) SweepSpecs(designs []string, ratios []int) []RunSpec {
 		}
 	}
 	return specs
+}
+
+// SweepSpecsByName builds the design-major, workload-minor cross
+// product for explicit name lists — the run order every consumer of the
+// shared wire encoding (cmd/experiments -sweepjson, the serve layer)
+// must agree on for sweep documents to be byte-identical. Unknown
+// workload names error; design names are validated later, when the runs
+// resolve through the registry.
+func SweepSpecsByName(designs, workloadNames []string, ratio16 int) ([]RunSpec, error) {
+	specs := make([]RunSpec, 0, len(designs)*len(workloadNames))
+	for _, d := range designs {
+		for _, name := range workloadNames {
+			wl, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("exp: unknown workload %q", name)
+			}
+			specs = append(specs, RunSpec{Workload: wl, Design: d, Ratio16: ratio16})
+		}
+	}
+	return specs, nil
 }
 
 // Sweep evaluates every (workload, design, ratio) combination in

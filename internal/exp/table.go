@@ -1,9 +1,10 @@
 package exp
 
 import (
-	"encoding/json"
 	"fmt"
 	"strings"
+
+	"hybridmem/internal/api"
 )
 
 // Table is a printable experiment result: a title, a header row, and data
@@ -78,14 +79,16 @@ func (t Table) CSV() string {
 	return b.String()
 }
 
-// JSON renders the table as an indented JSON object with title, header
-// and rows, for machine consumption of experiment results.
+// JSON renders the table as an indented JSON document with schema
+// version, title, header and rows — the shared wire encoding of
+// internal/api, pinned by its golden test.
 func (t Table) JSON() ([]byte, error) {
-	return json.MarshalIndent(struct {
-		Title  string     `json:"title"`
-		Header []string   `json:"header"`
-		Rows   [][]string `json:"rows"`
-	}{t.Title, t.Header, t.Rows}, "", "  ")
+	return api.Encode(api.Table{
+		Schema: api.SchemaVersion,
+		Title:  t.Title,
+		Header: t.Header,
+		Rows:   t.Rows,
+	})
 }
 
 // Slug returns a filesystem-friendly name derived from the title.

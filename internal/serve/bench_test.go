@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hybridmem/internal/api"
+)
+
+// BenchmarkServeCachedRun measures the full HTTP hot path of a repeated
+// request: decode, validate, fingerprint, cache hit, write — no
+// simulation. This is the latency the service promises for the common
+// case.
+func BenchmarkServeCachedRun(b *testing.B) {
+	s, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := runRequest{
+		Design:   "HYBRID2",
+		Workload: "lbm",
+		Config:   api.Config{Scale: 16, NMRatio16: 1, InstrPerCore: 20_000, Seed: 1},
+	}
+	body, _ := json.Marshal(req)
+	warm := httptest.NewRequest("POST", "/v1/run", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, warm)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warmup: %d %s", w.Code, w.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("POST", "/v1/run", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("cached run: %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkServeColdRun measures the miss path: every iteration changes
+// the seed, so the fingerprint is fresh and the engine actually runs a
+// (short) simulation.
+func BenchmarkServeColdRun(b *testing.B) {
+	s, err := New(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := runRequest{
+			Design:   "HYBRID2",
+			Workload: "lbm",
+			Config:   api.Config{Scale: 16, NMRatio16: 1, InstrPerCore: 20_000, Seed: uint64(i + 1)},
+		}
+		body, _ := json.Marshal(req)
+		r := httptest.NewRequest("POST", "/v1/run", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("cold run: %d %s", w.Code, w.Body)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// fingerprint derives a content address from the canonical parts of a
+// request: the same parts always produce the same key, and any change to
+// a part — including the engine or schema version every caller folds in
+// — produces a different one. Parts are NUL-separated so concatenation
+// ambiguity cannot alias two requests.
+func fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// resultCache is an LRU cache of encoded result documents, bounded by
+// entry count and by total payload bytes, with hit/miss counters for the
+// metrics endpoint. All methods are safe for concurrent use.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+	hits       uint64
+	misses     uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached document for a fingerprint and records a hit or
+// a miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).data, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// peek returns the cached document without touching the LRU order or
+// the hit/miss counters — used to re-check the cache from inside a
+// singleflight slot, where the caller already recorded its miss.
+func (c *resultCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*cacheEntry).data, true
+	}
+	return nil, false
+}
+
+// put stores a document under a fingerprint, evicting least-recently
+// used entries until both bounds hold. A document larger than the byte
+// bound on its own is not cached at all — admitting it would flush the
+// entire cache for a payload that can never be retained alongside
+// anything else.
+func (c *resultCache) put(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		c.ll.MoveToFront(el)
+	} else {
+		if int64(len(data)) > c.maxBytes {
+			return
+		}
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.bytes += int64(len(data))
+	}
+	for (len(c.items) > c.maxEntries || c.bytes > c.maxBytes) && c.ll.Len() > 0 {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.data))
+	}
+}
+
+type cacheStats struct {
+	hits    uint64
+	misses  uint64
+	entries int
+	bytes   int64
+}
+
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{hits: c.hits, misses: c.misses, entries: len(c.items), bytes: c.bytes}
+}
+
+// flight collapses concurrent identical requests into one execution: the
+// first caller of a key runs fn, every concurrent duplicate blocks until
+// it settles and shares its outcome. Unlike the result cache, nothing is
+// retained after the call completes — errors are never served twice.
+type flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+func newFlight() *flight { return &flight{calls: make(map[string]*flightCall)} }
+
+// do runs fn under the key's singleflight slot. shared reports whether
+// this caller piggybacked on another caller's execution.
+func (f *flight) do(key string, fn func() ([]byte, error)) (data []byte, err error, shared bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.data, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	// Settle the call even if fn panics (net/http recovers handler
+	// panics per-connection): an unclosed done channel would park every
+	// future identical request forever behind a wedged key. Waiters see
+	// the panic as this call's error; the panic itself still propagates
+	// to the winner's handler.
+	defer func() {
+		p := recover()
+		if p != nil {
+			c.err = fmt.Errorf("singleflight: panic: %v", p)
+		}
+		close(c.done)
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		if p != nil {
+			panic(p)
+		}
+	}()
+	c.data, c.err = fn()
+	return c.data, c.err, false
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/stats"
+)
+
+// metrics aggregates the server's operational counters: per-endpoint
+// request counts and latency histograms, job outcomes, and the
+// singleflight share counter. Cache statistics and queue gauges live
+// with their owners and are folded in by the /metrics handler.
+type metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+
+	jobsDone     atomic.Uint64
+	jobsFailed   atomic.Uint64
+	flightShared atomic.Uint64
+	inflightSims atomic.Int64
+}
+
+type endpointMetrics struct {
+	count uint64
+	lat   stats.Histogram // request latency, microseconds
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
+}
+
+// observe records one served request against its endpoint label.
+func (m *metrics) observe(label string, d time.Duration) {
+	us := uint64(d.Microseconds())
+	m.mu.Lock()
+	em := m.endpoints[label]
+	if em == nil {
+		em = &endpointMetrics{}
+		m.endpoints[label] = em
+	}
+	em.count++
+	em.lat.Add(us)
+	m.mu.Unlock()
+}
+
+// instrument wraps a handler so its latency lands in the endpoint's
+// histogram under the given route label.
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.metrics.observe(label, time.Since(start))
+	}
+}
+
+// handleMetrics renders every counter in the text exposition format
+// (Prometheus-compatible lines, deterministically ordered).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := s.metrics
+	cs := s.cache.stats()
+	fmt.Fprintf(w, "hybridmem_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "hybridmem_draining %d\n", boolGauge(s.draining.Load()))
+	fmt.Fprintf(w, "hybridmem_cache_hits_total %d\n", cs.hits)
+	fmt.Fprintf(w, "hybridmem_cache_misses_total %d\n", cs.misses)
+	fmt.Fprintf(w, "hybridmem_cache_entries %d\n", cs.entries)
+	fmt.Fprintf(w, "hybridmem_cache_bytes %d\n", cs.bytes)
+	fmt.Fprintf(w, "hybridmem_cache_capacity_bytes %d\n", s.opts.CacheBytes)
+	fmt.Fprintf(w, "hybridmem_cache_capacity_entries %d\n", s.opts.CacheEntries)
+	fmt.Fprintf(w, "hybridmem_singleflight_shared_total %d\n", m.flightShared.Load())
+	fmt.Fprintf(w, "hybridmem_inflight_sims %d\n", m.inflightSims.Load())
+	fmt.Fprintf(w, "hybridmem_jobs_queue_depth %d\n", len(s.jobs.queue))
+	fmt.Fprintf(w, "hybridmem_jobs_queue_capacity %d\n", cap(s.jobs.queue))
+	fmt.Fprintf(w, "hybridmem_jobs_running %d\n", s.jobs.running.Load())
+	fmt.Fprintf(w, "hybridmem_jobs_total{state=\"done\"} %d\n", m.jobsDone.Load())
+	fmt.Fprintf(w, "hybridmem_jobs_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
+
+	m.mu.Lock()
+	labels := make([]string, 0, len(m.endpoints))
+	for l := range m.endpoints {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		em := m.endpoints[l]
+		fmt.Fprintf(w, "hybridmem_http_requests_total{path=%q} %d\n", l, em.count)
+		fmt.Fprintf(w, "hybridmem_http_request_duration_us{path=%q,stat=\"mean\"} %.0f\n", l, em.lat.Mean())
+		for _, q := range []struct {
+			name string
+			p    float64
+		}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+			fmt.Fprintf(w, "hybridmem_http_request_duration_us{path=%q,stat=%q} %d\n", l, q.name, em.lat.Percentile(q.p))
+		}
+	}
+	m.mu.Unlock()
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,901 @@
+// Package serve is the simulation-as-a-service layer: a long-lived,
+// stdlib-only HTTP server multiplexing many concurrent clients over the
+// batch engines (internal/exp, internal/dse, internal/trace) so the
+// common case — somebody asking for a result the fleet has already
+// computed — never re-simulates.
+//
+// # Request lifecycle
+//
+// Every request is canonicalized into a content-addressed fingerprint:
+// SHA-256 over the request kind, the engine and schema versions
+// (internal/api), the design/workload selection and the full simulation
+// configuration. The fingerprint drives three layers of deduplication:
+//
+//   - an LRU result cache (bounded by entries and by bytes, with
+//     hit/miss counters) serves repeats without touching the engines;
+//   - a singleflight layer collapses concurrent identical in-flight
+//     requests into one simulation whose result every caller shares;
+//   - the job queue reuses the fingerprint as the job ID, so identical
+//     sweeps or explorations submitted twice are one job.
+//
+// Results are deterministic (same fingerprint, same bytes — the property
+// the cache depends on), and the encoded documents are the shared wire
+// schema of internal/api, byte-identical to the equivalent
+// cmd/experiments or cmd/dse invocation.
+//
+// # Endpoints
+//
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /metrics              text-format counters and latency histograms
+//	GET  /v1/designs           the design registry (name, grammar, kind)
+//	GET  /v1/workloads         the built-in workload names
+//	POST /v1/run               one (design, workload) run — synchronous
+//	POST /v1/sweep             designs × workloads sweep — async job
+//	POST /v1/explore           design-space exploration — async job
+//	POST /v1/replay            trace replay; the request body IS the trace
+//	GET  /v1/jobs/{id}         job state
+//	GET  /v1/jobs/{id}/events  progress stream (server-sent events)
+//	GET  /v1/jobs/{id}/result  the finished job's result document
+//
+// Sweeps and explorations run asynchronously through a bounded job
+// queue and worker pool: POST returns a job ID, progress streams over
+// SSE (wired to exp's sweep progress hook and dse's batch events), and
+// the result document is fetched when the job settles. The trace upload
+// path streams the request body straight into the trace decoder
+// (internal/trace) — a multi-gigabyte capture replays in constant
+// memory and is never buffered.
+//
+// # Persistence and drain
+//
+// With Options.StateDir set, submitted job requests and finished result
+// documents persist to disk, and explorations checkpoint through the
+// existing internal/dse checkpoint path after every batch. A restarted
+// server adopts finished jobs (re-seeding the result cache) and
+// resubmits unfinished ones; an interrupted exploration resumes from its
+// checkpoint instead of starting over. Shutdown drains gracefully:
+// health flips to 503, new work is rejected, queued and running jobs
+// finish (until the drain deadline, which cancels them — explorations
+// flush a final checkpoint), and in-flight HTTP requests complete.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/api"
+	"hybridmem/internal/atomicfile"
+	"hybridmem/internal/config"
+	"hybridmem/internal/design"
+	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
+	"hybridmem/internal/dse"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/workload"
+)
+
+// Options configures a Server. The zero value of every field has a
+// usable default.
+type Options struct {
+	// CacheEntries and CacheBytes bound the result cache; <= 0 means
+	// 1024 entries and 64 MB.
+	CacheEntries int
+	CacheBytes   int64
+	// QueueDepth bounds queued-but-not-running jobs (<= 0 means 64);
+	// a full queue rejects submissions with 503 rather than blocking.
+	QueueDepth int
+	// Workers is the job worker-pool size; <= 0 means 2. Each job
+	// additionally fans its simulations out across Parallelism runner
+	// workers (<= 0 means GOMAXPROCS).
+	Workers     int
+	Parallelism int
+	// JobHistory and JobHistoryBytes bound the settled jobs that stay
+	// addressable (status and result endpoints) by count and by total
+	// retained result bytes — the job index shadows result documents, so
+	// it needs a byte bound just like the cache. Beyond either bound the
+	// oldest settled jobs are retired, index and persisted state both.
+	// <= 0 means 4096 jobs and 256 MB.
+	JobHistory      int
+	JobHistoryBytes int64
+	// StateDir enables persistence (job specs, results, exploration
+	// checkpoints); empty keeps everything in memory.
+	StateDir string
+	// MaxRequestBytes bounds request bodies on the JSON endpoints
+	// (<= 0 means 1 MB). The trace-replay body is exempt: traces stream
+	// and may be arbitrarily large.
+	MaxRequestBytes int64
+	// MaxSyncSims bounds simulations running inline in synchronous
+	// handlers (/v1/run misses, /v1/replay) — the synchronous
+	// counterpart of the job queue's bound; excess requests get 503.
+	// <= 0 means 2 × GOMAXPROCS.
+	MaxSyncSims int
+	// MaxInstrPerCore caps the per-core instruction budget a request may
+	// ask for, so one request cannot pin the CPUs indefinitely (the
+	// paper's runs use 1M). <= 0 means 64M.
+	MaxInstrPerCore uint64
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 4096
+	}
+	if o.JobHistoryBytes <= 0 {
+		o.JobHistoryBytes = 256 << 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = 1 << 20
+	}
+	if o.MaxSyncSims <= 0 {
+		o.MaxSyncSims = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInstrPerCore == 0 {
+		o.MaxInstrPerCore = 64 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the simulation service. Create one with New, expose
+// Handler() over any net/http server, and call Shutdown to drain.
+type Server struct {
+	opts     Options
+	cache    *resultCache
+	flight   *flight
+	jobs     *jobManager
+	metrics  *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+	syncSem  chan struct{} // bounds inline simulations (/v1/run, /v1/replay)
+
+	// Execution seams. Tests substitute counting or blocking stand-ins
+	// to pin the concurrency contracts (one simulation per fingerprint,
+	// drain semantics) without timing-dependent real runs.
+	runOne     func(designName, workloadName string, cfg api.Config) (sim.Result, error)
+	runSweep   func(ctx context.Context, designs, workloads []string, cfg api.Config, progress func(done, total int)) ([]sim.Result, error)
+	runExplore func(ctx context.Context, req exploreRequest, checkpoint string, resume bool, progress func(dse.Event)) (dse.Result, error)
+}
+
+// New builds a Server, starts its worker pool, and — when a state
+// directory is configured — recovers persisted jobs from it.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   newResultCache(opts.CacheEntries, opts.CacheBytes),
+		flight:  newFlight(),
+		metrics: newMetrics(),
+		syncSem: make(chan struct{}, opts.MaxSyncSims),
+	}
+	s.runOne = s.defaultRunOne
+	s.runSweep = s.defaultRunSweep
+	s.runExplore = s.defaultRunExplore
+	s.jobs = newJobManager(s, opts.QueueDepth, opts.Workers, opts.JobHistory, opts.JobHistoryBytes)
+	s.buildMux()
+	if err := s.recoverJobs(); err != nil {
+		// The worker pool is already running; drain it (recovery failed
+		// before anything was enqueued, so this is immediate) rather
+		// than leak its goroutines to a caller that retries New.
+		drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.jobs.drain(drainCtx)
+		return nil, err
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: liveness flips to 503, new jobs are
+// rejected, and queued plus running jobs finish. When ctx expires first,
+// running jobs are canceled (explorations flush a final checkpoint) and
+// their workers awaited before the context error is returned. In-flight
+// HTTP requests are the enclosing http.Server's responsibility
+// (http.Server.Shutdown), ordered after this drain by hybridmem.Serve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.jobs.drain(ctx)
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/designs", s.instrument("/v1/designs", s.handleDesigns))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("POST /v1/run", s.instrument("/v1/run", s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/explore", s.instrument("/v1/explore", s.handleExplore))
+	// Replay accepts PUT as well as POST: the body is an upload, and
+	// `curl -T` (the natural way to stream a trace file) issues PUT.
+	mux.HandleFunc("POST /v1/replay", s.instrument("/v1/replay", s.handleReplay))
+	mux.HandleFunc("PUT /v1/replay", s.instrument("/v1/replay", s.handleReplay))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/result", s.handleJobResult))
+	s.mux = mux
+}
+
+// --- request forms and validation ---
+
+type runRequest struct {
+	Design   string     `json:"design"`
+	Workload string     `json:"workload"`
+	Config   api.Config `json:"config"`
+}
+
+type sweepRequest struct {
+	Designs   []string   `json:"designs"`
+	Workloads []string   `json:"workloads"`
+	Config    api.Config `json:"config"`
+}
+
+type exploreRequest struct {
+	Families     []string   `json:"families"`
+	Workloads    []string   `json:"workloads"`
+	Budget       int        `json:"budget"`
+	BatchSize    int        `json:"batch_size"`
+	Seed         uint64     `json:"seed"`
+	MaxPerParam  int        `json:"max_per_param"`
+	UnboundedMax int        `json:"unbounded_max"`
+	Config       api.Config `json:"config"`
+}
+
+// normalizeConfig substitutes the documented default for every zero
+// field (negative values stay put and fail validation), so a request may
+// omit config entirely. instrDefault differs per endpoint: runs and
+// sweeps default to the harness's 1M instructions, explorations to the
+// 200k short runs the search uses. One consequence: seed 0 is
+// indistinguishable from an omitted seed in JSON and maps to the
+// default seed 1 — a seed-0 run (legal, if unusual, through the Go API
+// and CLI) is not representable over HTTP.
+func normalizeConfig(c api.Config, instrDefault uint64) api.Config {
+	if c.Scale == 0 {
+		c.Scale = config.DefaultScale
+	}
+	if c.NMRatio16 == 0 {
+		c.NMRatio16 = 1
+	}
+	if c.InstrPerCore == 0 {
+		c.InstrPerCore = instrDefault
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// checkConfig rejects a bad or oversized configuration before any
+// simulation state exists — the cheap 400 the service promises.
+func (s *Server) checkConfig(cfg api.Config) error {
+	if err := config.ValidateRun(cfg.Scale, cfg.NMRatio16, cfg.InstrPerCore); err != nil {
+		return err
+	}
+	if cfg.InstrPerCore > s.opts.MaxInstrPerCore {
+		return fmt.Errorf("instr_per_core %d exceeds this server's limit of %d", cfg.InstrPerCore, s.opts.MaxInstrPerCore)
+	}
+	return nil
+}
+
+// validateRun rejects a bad (design, workload, config) triple.
+func (s *Server) validateRun(designName, workloadName string, cfg api.Config) error {
+	if err := s.checkConfig(cfg); err != nil {
+		return err
+	}
+	if _, err := design.Parse(designName); err != nil {
+		return err
+	}
+	if _, ok := workload.ByName(workloadName); !ok {
+		return fmt.Errorf("unknown workload %q", workloadName)
+	}
+	return nil
+}
+
+// errBusy reports sync-simulation saturation; mapped to 503.
+var errBusy = fmt.Errorf("too many simulations in flight; retry shortly")
+
+// acquireSync claims a synchronous-simulation slot without blocking —
+// saturation answers 503 rather than queueing unbounded inline work.
+func (s *Server) acquireSync() bool {
+	select {
+	case s.syncSem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) releaseSync() { <-s.syncSem }
+
+// --- fingerprints ---
+
+// versionParts prefixes every fingerprint: a result cached under one
+// engine or schema version can never serve a request under another.
+func versionParts(kind string) []string {
+	return []string{kind, "engine=" + strconv.Itoa(api.EngineVersion), "schema=" + strconv.Itoa(api.SchemaVersion)}
+}
+
+func cfgParts(c api.Config) []string {
+	return []string{
+		"scale=" + strconv.Itoa(c.Scale),
+		"ratio=" + strconv.Itoa(c.NMRatio16),
+		"instr=" + strconv.FormatUint(c.InstrPerCore, 10),
+		"seed=" + strconv.FormatUint(c.Seed, 10),
+	}
+}
+
+func runKey(req runRequest) string {
+	parts := append(versionParts("run"), req.Design, req.Workload)
+	return fingerprint(append(parts, cfgParts(req.Config)...)...)
+}
+
+func sweepKey(req sweepRequest) string {
+	parts := append(versionParts("sweep"), "designs="+join(req.Designs), "workloads="+join(req.Workloads))
+	return fingerprint(append(parts, cfgParts(req.Config)...)...)
+}
+
+func exploreKey(req exploreRequest) string {
+	parts := append(versionParts("explore"),
+		"families="+join(req.Families),
+		"workloads="+join(req.Workloads),
+		"budget="+strconv.Itoa(req.Budget),
+		"batch="+strconv.Itoa(req.BatchSize),
+		"seed="+strconv.FormatUint(req.Seed, 10),
+		"maxvals="+strconv.Itoa(req.MaxPerParam),
+		"ubound="+strconv.Itoa(req.UnboundedMax),
+	)
+	return fingerprint(append(parts, cfgParts(req.Config)...)...)
+}
+
+func join(ss []string) string { return strings.Join(ss, ",") }
+
+// --- engine execution (the default seams) ---
+
+func (s *Server) defaultRunOne(designName, workloadName string, cfg api.Config) (sim.Result, error) {
+	wl, ok := workload.ByName(workloadName)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
+	return r.ResultErr(wl, designName, cfg.NMRatio16)
+}
+
+func (s *Server) defaultRunSweep(ctx context.Context, designs, workloads []string, cfg api.Config, progress func(done, total int)) ([]sim.Result, error) {
+	r := &exp.Runner{
+		Scale:        cfg.Scale,
+		InstrPerCore: cfg.InstrPerCore,
+		Seed:         cfg.Seed,
+		Parallelism:  s.opts.Parallelism,
+	}
+	specs, err := exp.SweepSpecsByName(designs, workloads, cfg.NMRatio16)
+	if err != nil {
+		return nil, err
+	}
+	return r.ResultsParallelProgress(ctx, specs, progress)
+}
+
+func (s *Server) defaultRunExplore(ctx context.Context, req exploreRequest, checkpoint string, resume bool, progress func(dse.Event)) (dse.Result, error) {
+	return dse.Search(ctx, dse.Options{
+		Families:     req.Families,
+		Workloads:    req.Workloads,
+		Budget:       req.Budget,
+		BatchSize:    req.BatchSize,
+		Seed:         req.Seed,
+		Scale:        req.Config.Scale,
+		InstrPerCore: req.Config.InstrPerCore,
+		SimSeed:      req.Config.Seed,
+		Ratio16:      req.Config.NMRatio16,
+		Parallelism:  s.opts.Parallelism,
+		MaxPerParam:  req.MaxPerParam,
+		UnboundedMax: req.UnboundedMax,
+		Checkpoint:   checkpoint,
+		Resume:       resume,
+		Progress:     progress,
+	})
+}
+
+// --- job execution ---
+
+// runJob executes one dequeued job: a cached result document settles it
+// without touching the engines; otherwise the engine runs, the document
+// is cached and (when persistence is on) written next to the job spec.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	j.start()
+	var data []byte
+	var err error
+	if cached, ok := s.cache.get(j.ID); ok {
+		data = cached
+	} else {
+		s.metrics.inflightSims.Add(1)
+		switch j.Kind {
+		case "sweep":
+			data, err = s.execSweep(ctx, j)
+		case "explore":
+			data, err = s.execExplore(ctx, j)
+		default:
+			err = fmt.Errorf("unknown job kind %q", j.Kind)
+		}
+		s.metrics.inflightSims.Add(-1)
+		if err == nil {
+			s.cache.put(j.ID, data)
+		}
+	}
+	if err == nil && s.opts.StateDir != "" {
+		if werr := atomicfile.Write(s.statePath("result", j.ID), data); werr != nil {
+			s.opts.Logf("serve: persist result %s: %v", j.ID, werr)
+		}
+		if j.Kind == "explore" {
+			os.Remove(s.statePath("ckpt", j.ID)) // resumed no more; the result is final
+		}
+	}
+	j.finish(data, err)
+	if err != nil {
+		s.metrics.jobsFailed.Add(1)
+		s.opts.Logf("serve: job %s (%s) failed: %v", j.ID, j.Kind, err)
+	} else {
+		s.metrics.jobsDone.Add(1)
+	}
+}
+
+type sweepProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+func (s *Server) execSweep(ctx context.Context, j *job) ([]byte, error) {
+	req := j.sweep
+	if req == nil {
+		return nil, fmt.Errorf("sweep job %s has no request payload", j.ID)
+	}
+	res, err := s.runSweep(ctx, req.Designs, req.Workloads, req.Config, func(done, total int) {
+		if data, merr := json.Marshal(sweepProgress{Done: done, Total: total}); merr == nil {
+			j.publishProgress(data)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return api.Encode(api.NewSweep(res))
+}
+
+type exploreProgress struct {
+	Batch        int `json:"batch"`
+	Evaluated    int `json:"evaluated"`
+	Budget       int `json:"budget"`
+	SpaceSize    int `json:"space_size"`
+	FrontierSize int `json:"frontier_size"`
+}
+
+func (s *Server) execExplore(ctx context.Context, j *job) ([]byte, error) {
+	req := j.explore
+	if req == nil {
+		return nil, fmt.Errorf("explore job %s has no request payload", j.ID)
+	}
+	checkpoint, resume := "", false
+	if s.opts.StateDir != "" {
+		checkpoint = s.statePath("ckpt", j.ID)
+		if _, err := os.Stat(checkpoint); err == nil {
+			resume = true
+		}
+	}
+	res, err := s.runExplore(ctx, *req, checkpoint, resume, func(e dse.Event) {
+		if e.Done {
+			return
+		}
+		if data, merr := json.Marshal(exploreProgress{
+			Batch: e.Round, Evaluated: e.Evaluated, Budget: e.Budget,
+			SpaceSize: e.SpaceSize, FrontierSize: e.FrontierSize,
+		}); merr == nil {
+			j.publishProgress(data)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return api.Encode(res.APIDoc())
+}
+
+// --- HTTP plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := api.Encode(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func writeDoc(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body with a size bound and strict
+// field checking, so typos in request fields fail loudly instead of
+// silently running a default simulation.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// rejectDraining answers 503 during shutdown; handlers that start new
+// work call it first.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errDraining)
+		return true
+	}
+	return false
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type designInfo struct {
+	Name    string `json:"name"`
+	Grammar string `json:"grammar"`
+	Kind    string `json:"kind"`
+	Doc     string `json:"doc"`
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	infos := design.AllInfos()
+	out := make([]designInfo, len(infos))
+	for i, info := range infos {
+		out[i] = designInfo{Name: info.Name, Grammar: info.Grammar(), Kind: info.Kind.String(), Doc: info.Doc}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	specs := workload.Specs()
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		names[i] = spec.Name
+	}
+	writeJSON(w, http.StatusOK, names)
+}
+
+// handleRun serves one simulation synchronously: cache first, then the
+// singleflight slot — concurrent identical requests execute exactly one
+// simulation and share its bytes.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	req.Config = normalizeConfig(req.Config, 1_000_000)
+	if err := s.validateRun(req.Design, req.Workload, req.Config); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.rejectDraining(w) {
+		return
+	}
+	key := runKey(req)
+	if data, ok := s.cache.get(key); ok {
+		writeDoc(w, data)
+		return
+	}
+	data, err, shared := s.flight.do(key, func() ([]byte, error) {
+		// A caller that lost the race against a completed flight sees the
+		// result here without re-simulating.
+		if doc, ok := s.cache.peek(key); ok {
+			return doc, nil
+		}
+		if !s.acquireSync() {
+			return nil, errBusy
+		}
+		defer s.releaseSync()
+		s.metrics.inflightSims.Add(1)
+		defer s.metrics.inflightSims.Add(-1)
+		sr, err := s.runOne(req.Design, req.Workload, req.Config)
+		if err != nil {
+			return nil, err
+		}
+		doc, err := api.Encode(api.NewRun(sr))
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(key, doc)
+		return doc, nil
+	})
+	if shared {
+		s.metrics.flightShared.Add(1)
+	}
+	switch {
+	case errors.Is(err, errBusy):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "run failed: %v", err)
+	default:
+		writeDoc(w, data)
+	}
+}
+
+type submitResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, j *job) {
+	if s.rejectDraining(w) {
+		return
+	}
+	j, err := s.jobs.submit(j)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, submitResponse{JobID: j.ID, State: state})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Designs) == 0 || len(req.Workloads) == 0 {
+		writeError(w, http.StatusBadRequest, "designs and workloads are required (a sweep over nothing is almost never what you meant)")
+		return
+	}
+	req.Config = normalizeConfig(req.Config, 1_000_000)
+	for _, d := range req.Designs {
+		if err := s.validateRun(d, req.Workloads[0], req.Config); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	for _, wl := range req.Workloads {
+		if _, ok := workload.ByName(wl); !ok {
+			writeError(w, http.StatusBadRequest, "unknown workload %q", wl)
+			return
+		}
+	}
+	j := newJob(sweepKey(req), "sweep")
+	j.sweep = &req
+	s.submitJob(w, j)
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req exploreRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Budget <= 0 {
+		writeError(w, http.StatusBadRequest, "budget must be > 0 (exhaustive exploration is not offered over HTTP; bound the search)")
+		return
+	}
+	req.Config = normalizeConfig(req.Config, 200_000)
+	if err := s.checkConfig(req.Config); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for _, f := range req.Families {
+		if _, ok := design.LookupInfo(f); !ok {
+			writeError(w, http.StatusBadRequest, "unknown design family %q", f)
+			return
+		}
+	}
+	for _, wl := range req.Workloads {
+		if _, ok := workload.ByName(wl); !ok {
+			writeError(w, http.StatusBadRequest, "unknown workload %q", wl)
+			return
+		}
+	}
+	j := newJob(exploreKey(req), "explore")
+	j.explore = &req
+	s.submitJob(w, j)
+}
+
+// handleReplay replays the request body as a memory trace. The body
+// streams straight into the trace decoder — constant memory at any
+// trace size — so parameters arrive as query values, and the result is
+// not cached (serving a repeat from cache would require hashing the
+// whole body first, which is exactly the buffering this path exists to
+// avoid).
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	designName := q.Get("design")
+	if designName == "" {
+		writeError(w, http.StatusBadRequest, "design query parameter is required")
+		return
+	}
+	name := q.Get("name")
+	if name == "" {
+		name = "upload"
+	}
+	intQ := func(key string, def int) (int, error) {
+		v := q.Get(key)
+		if v == "" {
+			return def, nil
+		}
+		return strconv.Atoi(v)
+	}
+	uintQ := func(key string, def uint64) (uint64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return def, nil
+		}
+		return strconv.ParseUint(v, 10, 64)
+	}
+	var cfg api.Config
+	var mlp, window int
+	var err error
+	if cfg.Scale, err = intQ("scale", 0); err == nil {
+		if cfg.NMRatio16, err = intQ("nm_ratio16", 0); err == nil {
+			if cfg.InstrPerCore, err = uintQ("instr_per_core", 0); err == nil {
+				if cfg.Seed, err = uintQ("seed", 0); err == nil {
+					if mlp, err = intQ("mlp", 4); err == nil {
+						window, err = intQ("window", 0)
+					}
+				}
+			}
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query parameter: %v", err)
+		return
+	}
+	cfg = normalizeConfig(cfg, 1_000_000)
+	if mlp < 1 {
+		writeError(w, http.StatusBadRequest, "mlp must be >= 1, got %d", mlp)
+		return
+	}
+	if verr := s.checkConfig(cfg); verr != nil {
+		writeError(w, http.StatusBadRequest, "%v", verr)
+		return
+	}
+	if _, perr := design.Parse(designName); perr != nil {
+		writeError(w, http.StatusBadRequest, "%v", perr)
+		return
+	}
+	if s.rejectDraining(w) {
+		return
+	}
+	if !s.acquireSync() {
+		writeError(w, http.StatusServiceUnavailable, "%v", errBusy)
+		return
+	}
+	defer s.releaseSync()
+	runner := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed, TraceWindow: window}
+	s.metrics.inflightSims.Add(1)
+	res, err := runner.RunTrace(name, r.Body, designName, cfg.NMRatio16, mlp)
+	s.metrics.inflightSims.Add(-1)
+	if err != nil {
+		// Everything RunTrace reports — decode errors, window skew, an
+		// empty trace — originates in the uploaded bytes.
+		writeError(w, http.StatusBadRequest, "replay failed: %v", err)
+		return
+	}
+	data, err := api.Encode(api.NewRun(res))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeDoc(w, data)
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, result := j.state, j.errMsg, j.result
+	j.mu.Unlock()
+	switch state {
+	case jobDone:
+		writeDoc(w, result)
+	case jobFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job is %s; result not ready", state)
+	}
+}
+
+// handleJobEvents streams a job's progress as server-sent events:
+// any buffered latest progress first, then live events, then a final
+// "done" event. Settled jobs replay their outcome immediately.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch, backlog := j.subscribe()
+	defer j.unsubscribe(ch)
+	for _, frame := range backlog {
+		w.Write(frame)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, open := <-ch:
+			if !open {
+				return
+			}
+			w.Write(frame)
+			flusher.Flush()
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"hybridmem/internal/cpu"
 	"hybridmem/internal/memsys"
 	"hybridmem/internal/memtypes"
+	"hybridmem/internal/stats"
 	"hybridmem/internal/workload"
 )
 
@@ -31,52 +32,10 @@ type Result struct {
 	FMEnergyNJ float64
 
 	// Demand read-miss latency distribution (cycles), as seen by the
-	// cores: mean and percentiles from a log2-bucketed histogram.
+	// cores: mean and percentiles from a log2-bucketed stats.Histogram.
 	LatMean float64
 	LatP50  memtypes.Tick
 	LatP99  memtypes.Tick
-}
-
-// latHist is a log2-bucketed latency histogram: bucket i holds latencies
-// in [2^i, 2^(i+1)) (bucket 0 also holds 0); percentile reads return the
-// bucket's lower bound, so a uniform latency at an exact bucket boundary
-// L reports L rather than 2L.
-type latHist struct {
-	buckets [40]uint64
-	count   uint64
-	sum     uint64
-}
-
-func (h *latHist) add(lat memtypes.Tick) {
-	h.count++
-	h.sum += uint64(lat)
-	b := 0
-	for v := lat; v > 1 && b < len(h.buckets)-1; v >>= 1 {
-		b++
-	}
-	h.buckets[b]++
-}
-
-func (h *latHist) mean() float64 {
-	if h.count == 0 {
-		return 0
-	}
-	return float64(h.sum) / float64(h.count)
-}
-
-func (h *latHist) percentile(p float64) memtypes.Tick {
-	if h.count == 0 {
-		return 0
-	}
-	target := uint64(p * float64(h.count))
-	var seen uint64
-	for i, n := range h.buckets {
-		seen += n
-		if seen > target {
-			return 1 << uint(i)
-		}
-	}
-	return 1 << uint(len(h.buckets)-1)
 }
 
 // ServedNMFrac returns the fraction of memory requests served from NM.
@@ -129,7 +88,7 @@ func Run(spec workload.Spec, ms memtypes.MemorySystem, nm, fm *memsys.Device, sy
 // misses.
 func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System) Result {
 	llc := cachesim.New(sys.LLCBytes, config.LLCAssoc, memtypes.CPULineBytes)
-	var lat latHist
+	var lat stats.Histogram
 
 	n := len(srcs)
 	cores := make([]*cpu.Core, n)
@@ -172,7 +131,7 @@ func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, n
 			if write {
 				c.StallForWrite(fill)
 			} else {
-				lat.add(fill - c.Time)
+				lat.Add(uint64(fill - c.Time))
 				c.StallForMiss(fill)
 			}
 		}
@@ -223,8 +182,8 @@ func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, n
 	if fm != nil {
 		res.FMEnergyNJ = fm.DynamicEnergyNanoJ()
 	}
-	res.LatMean = lat.mean()
-	res.LatP50 = lat.percentile(0.50)
-	res.LatP99 = lat.percentile(0.99)
+	res.LatMean = lat.Mean()
+	res.LatP50 = memtypes.Tick(lat.Percentile(0.50))
+	res.LatP99 = memtypes.Tick(lat.Percentile(0.99))
 	return res
 }

@@ -6,7 +6,6 @@ import (
 	"hybridmem/internal/baselines/flat"
 	"hybridmem/internal/config"
 	"hybridmem/internal/memsys"
-	"hybridmem/internal/memtypes"
 	"hybridmem/internal/workload"
 )
 
@@ -85,84 +84,6 @@ func TestMLPDerivation(t *testing.T) {
 	ptr, _ := workload.ByName("deepsjeng") // SeqRun 2 -> 1
 	if got := MLPFor(ptr); got != 1 {
 		t.Fatalf("deepsjeng MLP %d, want 1", got)
-	}
-}
-
-func TestLatencyHistogram(t *testing.T) {
-	var h latHist
-	for i := 1; i <= 1000; i++ {
-		h.add(memtypes.Tick(i))
-	}
-	if h.mean() < 450 || h.mean() > 550 {
-		t.Fatalf("mean %.0f, want ~500", h.mean())
-	}
-	p50 := h.percentile(0.5)
-	if p50 < 256 || p50 > 1024 {
-		t.Fatalf("p50 bucket bound %d out of plausible range", p50)
-	}
-	p99 := h.percentile(0.99)
-	if p99 < p50 {
-		t.Fatal("p99 below p50")
-	}
-	var empty latHist
-	if empty.mean() != 0 || empty.percentile(0.5) != 0 {
-		t.Fatal("empty histogram not zero")
-	}
-}
-
-func TestPercentileReturnsBucketLowerBound(t *testing.T) {
-	// A uniform latency at an exact bucket boundary must report itself,
-	// not double: 100 samples of 256 land in bucket [256,512).
-	var h latHist
-	for i := 0; i < 100; i++ {
-		h.add(256)
-	}
-	if got := h.percentile(0.5); got != 256 {
-		t.Fatalf("P50 of uniform 256 = %d, want 256", got)
-	}
-	if got := h.percentile(0.99); got != 256 {
-		t.Fatalf("P99 of uniform 256 = %d, want 256", got)
-	}
-
-	// Bucket 0 holds latency 1 and must report 1, not 2.
-	var h1 latHist
-	h1.add(1)
-	if got := h1.percentile(0.5); got != 1 {
-		t.Fatalf("P50 of single latency 1 = %d, want 1", got)
-	}
-
-	// Non-boundary latencies report their bucket's lower bound: 200 is
-	// in [128,256).
-	var h2 latHist
-	for i := 0; i < 10; i++ {
-		h2.add(200)
-	}
-	if got := h2.percentile(0.5); got != 128 {
-		t.Fatalf("P50 of uniform 200 = %d, want bucket lower bound 128", got)
-	}
-
-	// Bimodal split: P50 sits at the second mode (target rank 50 is the
-	// first sample past the lower half), P99 in the top bucket.
-	var hb latHist
-	for i := 0; i < 50; i++ {
-		hb.add(4)
-	}
-	for i := 0; i < 50; i++ {
-		hb.add(1024)
-	}
-	if got := hb.percentile(0.49); got != 4 {
-		t.Fatalf("P49 of bimodal = %d, want 4", got)
-	}
-	if got := hb.percentile(0.99); got != 1024 {
-		t.Fatalf("P99 of bimodal = %d, want 1024", got)
-	}
-
-	// The overflow bucket clamps huge latencies to the top bucket's
-	// lower bound instead of overflowing the shift.
-	var ho latHist
-	ho.add(memtypes.Tick(1) << 50)
-	if got := ho.percentile(0.5); got != 1<<39 {
-		t.Fatalf("P50 of huge latency = %d, want 1<<39", got)
 	}
 }
 

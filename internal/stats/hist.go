@@ -1,0 +1,54 @@
+package stats
+
+// Histogram is a log2-bucketed histogram of non-negative integer samples
+// (latencies in cycles or microseconds): bucket i holds values in
+// [2^i, 2^(i+1)), bucket 0 also holds 0, and the top bucket absorbs
+// everything at or above 2^39. Percentile reads return the bucket's lower
+// bound, so a uniform population at an exact bucket boundary L reports L
+// rather than 2L. The zero value is an empty histogram ready for use.
+// Histogram is not safe for concurrent use; callers that share one across
+// goroutines must lock around it.
+type Histogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.count++
+	h.sum += v
+	b := 0
+	for x := v; x > 1 && b < len(h.buckets)-1; x >>= 1 {
+		b++
+	}
+	h.buckets[b]++
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean of the recorded samples, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns the lower bound of the bucket holding the p-th
+// quantile (0 <= p <= 1), 0 when empty.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p * float64(h.count))
+	var seen uint64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return 1 << uint(i)
+		}
+	}
+	return 1 << uint(len(h.buckets)-1)
+}

@@ -1,0 +1,83 @@
+package stats
+
+import "testing"
+
+func TestHistogramMeanAndPercentiles(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	if h.Mean() < 450 || h.Mean() > 550 {
+		t.Fatalf("mean %.0f, want ~500", h.Mean())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 256 || p50 > 1024 {
+		t.Fatalf("p50 bucket bound %d out of plausible range", p50)
+	}
+	if p99 := h.Percentile(0.99); p99 < p50 {
+		t.Fatal("p99 below p50")
+	}
+	var empty Histogram
+	if empty.Mean() != 0 || empty.Percentile(0.5) != 0 || empty.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramPercentileReturnsBucketLowerBound(t *testing.T) {
+	// A uniform population at an exact bucket boundary must report
+	// itself, not double: 100 samples of 256 land in bucket [256,512).
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Add(256)
+	}
+	if got := h.Percentile(0.5); got != 256 {
+		t.Fatalf("P50 of uniform 256 = %d, want 256", got)
+	}
+	if got := h.Percentile(0.99); got != 256 {
+		t.Fatalf("P99 of uniform 256 = %d, want 256", got)
+	}
+
+	// Bucket 0 holds value 1 and must report 1, not 2.
+	var h1 Histogram
+	h1.Add(1)
+	if got := h1.Percentile(0.5); got != 1 {
+		t.Fatalf("P50 of single sample 1 = %d, want 1", got)
+	}
+
+	// Non-boundary values report their bucket's lower bound: 200 is in
+	// [128,256).
+	var h2 Histogram
+	for i := 0; i < 10; i++ {
+		h2.Add(200)
+	}
+	if got := h2.Percentile(0.5); got != 128 {
+		t.Fatalf("P50 of uniform 200 = %d, want bucket lower bound 128", got)
+	}
+
+	// Bimodal split: P50 sits at the second mode (target rank 50 is the
+	// first sample past the lower half), P99 in the top bucket.
+	var hb Histogram
+	for i := 0; i < 50; i++ {
+		hb.Add(4)
+	}
+	for i := 0; i < 50; i++ {
+		hb.Add(1024)
+	}
+	if got := hb.Percentile(0.49); got != 4 {
+		t.Fatalf("P49 of bimodal = %d, want 4", got)
+	}
+	if got := hb.Percentile(0.99); got != 1024 {
+		t.Fatalf("P99 of bimodal = %d, want 1024", got)
+	}
+
+	// The overflow bucket clamps huge samples to the top bucket's lower
+	// bound instead of overflowing the shift.
+	var ho Histogram
+	ho.Add(1 << 50)
+	if got := ho.Percentile(0.5); got != 1<<39 {
+		t.Fatalf("P50 of huge sample = %d, want 1<<39", got)
+	}
+}

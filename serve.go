@@ -1,0 +1,132 @@
+package hybridmem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"hybridmem/internal/serve"
+)
+
+// ServeOptions configures the simulation service started by Serve. The
+// zero value of every field has a usable default.
+type ServeOptions struct {
+	// Addr is the TCP listen address; empty means ":8080".
+	Addr string
+	// StateDir enables persistence: submitted job requests, finished
+	// result documents and exploration checkpoints are written there, and
+	// a restarted server resumes unfinished work from it. Empty keeps
+	// everything in memory.
+	StateDir string
+	// CacheEntries and CacheBytes bound the content-addressed result
+	// cache; <= 0 means 1024 entries and 64 MB.
+	CacheEntries int
+	CacheBytes   int64
+	// QueueDepth bounds queued async jobs (sweeps, explorations); a full
+	// queue answers 503. <= 0 means 64.
+	QueueDepth int
+	// JobHistory bounds how many settled jobs stay addressable over the
+	// job endpoints before the oldest are retired; <= 0 means 4096.
+	JobHistory int
+	// Workers is the async job worker-pool size (<= 0 means 2); each job
+	// fans its simulations out across Parallelism runner workers (<= 0
+	// means GOMAXPROCS).
+	Workers     int
+	Parallelism int
+	// DrainTimeout bounds the graceful shutdown after ctx is canceled:
+	// queued and running jobs get this long to finish before they are
+	// canceled (explorations flush a final checkpoint and resume on
+	// restart). <= 0 means 30s.
+	DrainTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// OnListen, when non-nil, is called with the bound listen address
+	// once the server accepts connections — useful with ":0" ports.
+	OnListen func(addr string)
+}
+
+// Serve runs the simulation-as-a-service HTTP server — the long-lived
+// front end over Run/RunAll/Explore/ReplayTrace documented in
+// internal/serve: content-addressed result caching, singleflight
+// deduplication of concurrent identical requests, async jobs with
+// streaming progress for sweeps and explorations, and a streaming trace
+// upload endpoint.
+//
+// Serve blocks until ctx is canceled, then drains gracefully (liveness
+// flips to 503, new work is rejected, in-flight work finishes up to
+// DrainTimeout) and returns nil on a clean drain. cmd/hybridmemd wires
+// this to SIGTERM/SIGINT.
+func Serve(ctx context.Context, opts ServeOptions) error {
+	if opts.Addr == "" {
+		opts.Addr = ":8080"
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
+	srv, err := serve.New(serve.Options{
+		CacheEntries: opts.CacheEntries,
+		CacheBytes:   opts.CacheBytes,
+		QueueDepth:   opts.QueueDepth,
+		JobHistory:   opts.JobHistory,
+		Workers:      opts.Workers,
+		Parallelism:  opts.Parallelism,
+		StateDir:     opts.StateDir,
+		Logf:         opts.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("hybridmem: %w", err)
+	}
+	// New started the worker pool (and possibly resubmitted recovered
+	// jobs); every exit from here on must drain it, or an embedder whose
+	// Listen failed (port in use) leaks running simulations.
+	shutdown := func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil && opts.Logf != nil {
+			opts.Logf("hybridmem: drain: %v", err)
+		}
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		shutdown()
+		return fmt.Errorf("hybridmem: %w", err)
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(ln.Addr().String())
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+
+	select {
+	case err := <-served:
+		// The HTTP server failed outright; drain the job pool before
+		// reporting it.
+		shutdown()
+		return fmt.Errorf("hybridmem: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	// Order matters: flipping the service to draining first makes
+	// /healthz answer 503 (load balancers stop routing) and rejects new
+	// jobs while the queue empties; only then is the HTTP server told to
+	// stop, letting in-flight requests — including SSE streams watching
+	// the draining jobs — complete.
+	drainErr := srv.Shutdown(drainCtx)
+	httpErr := hs.Shutdown(drainCtx)
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("hybridmem: serve: %w", err)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("hybridmem: drain: %w", drainErr)
+	}
+	if httpErr != nil {
+		return fmt.Errorf("hybridmem: drain: %w", httpErr)
+	}
+	return nil
+}
