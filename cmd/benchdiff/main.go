@@ -1,0 +1,205 @@
+// Command benchdiff gates CI on the committed performance trajectory.
+// It compares a fresh bench2json artifact against the latest entry of
+// BENCH_trajectory.json — the hand-curated record of where each PR left
+// the key benchmarks — and exits non-zero when a benchmark regressed.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | bench2json > BENCH_results.json
+//	benchdiff                                  # BENCH_results.json vs BENCH_trajectory.json
+//	benchdiff -tol 3.0                         # CI: absorb machine-to-machine variation
+//	benchdiff -results r.json -trajectory t.json
+//
+// Two gates, deliberately asymmetric:
+//
+//   - ns/op is gated with a generous multiplicative tolerance (-tol,
+//     default 0.5 = +50%): wall-clock numbers move with machine and
+//     load, so the gate only catches order-of-magnitude regressions.
+//     CI passes a larger -tol because runner hardware differs from the
+//     machine that recorded the trajectory.
+//   - allocs/op, where the trajectory entry records it, must match
+//     EXACTLY: allocation counts of the pinned steady-state paths are
+//     deterministic, so any drift is a real code change that must be
+//     acknowledged by updating the trajectory.
+//
+// A benchmark recorded in the trajectory but missing from the fresh
+// results is a failure too — a silently deleted benchmark is how a
+// perf gate rots.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// freshResults mirrors cmd/bench2json's Output.
+type freshResults struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []freshBenchmark  `json:"benchmarks"`
+}
+
+type freshBenchmark struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// trajectory is the committed BENCH_trajectory.json: an append-only list
+// of entries, one per PR that moved performance; only the latest entry
+// is gated against.
+type trajectory struct {
+	Entries []trajectoryEntry `json:"entries"`
+}
+
+type trajectoryEntry struct {
+	Label      string         `json:"label"`
+	Date       string         `json:"date,omitempty"`
+	Note       string         `json:"note,omitempty"`
+	Benchmarks []trackedBench `json:"benchmarks"`
+}
+
+type trackedBench struct {
+	Package     string   `json:"package"`
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"` // nil: not pinned
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	resultsPath := flag.String("results", "BENCH_results.json", "fresh bench2json artifact")
+	trajPath := flag.String("trajectory", "BENCH_trajectory.json", "committed performance trajectory")
+	tol := flag.Float64("tol", 0.5, "ns/op regression tolerance as a fraction of the recorded value")
+	flag.Parse()
+
+	fresh, err := loadFresh(*resultsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	traj, err := loadTrajectory(*trajPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	entry := traj.Entries[len(traj.Entries)-1]
+	fmt.Printf("benchdiff: fresh %s vs trajectory entry %q (%d benchmark(s), ns/op tolerance +%.0f%%)\n",
+		*resultsPath, entry.Label, len(entry.Benchmarks), *tol*100)
+
+	failures := 0
+	for _, want := range entry.Benchmarks {
+		got, ok := fresh[benchKey(want.Package, want.Name)]
+		if !ok {
+			fmt.Printf("FAIL %s %s: benchmark missing from fresh results\n", want.Package, want.Name)
+			failures++
+			continue
+		}
+		ns, ok := got.Metrics["ns/op"]
+		if !ok {
+			fmt.Printf("FAIL %s %s: fresh results have no ns/op metric\n", want.Package, want.Name)
+			failures++
+			continue
+		}
+		limit := want.NsPerOp * (1 + *tol)
+		ratio := ns / want.NsPerOp
+		switch {
+		case ns > limit:
+			fmt.Printf("FAIL %s %s: %.0f ns/op is %.2fx the recorded %.0f (limit %.0f)\n",
+				want.Package, want.Name, ns, ratio, want.NsPerOp, limit)
+			failures++
+		default:
+			fmt.Printf("ok   %s %s: %.0f ns/op (%.2fx recorded %.0f)\n",
+				want.Package, want.Name, ns, ratio, want.NsPerOp)
+		}
+		if want.AllocsPerOp != nil {
+			allocs, ok := got.Metrics["allocs/op"]
+			switch {
+			case !ok:
+				fmt.Printf("FAIL %s %s: allocs/op pinned at %.0f but missing from fresh results (run with -benchmem)\n",
+					want.Package, want.Name, *want.AllocsPerOp)
+				failures++
+			case allocs != *want.AllocsPerOp:
+				fmt.Printf("FAIL %s %s: %.0f allocs/op, pinned at exactly %.0f\n",
+					want.Package, want.Name, allocs, *want.AllocsPerOp)
+				failures++
+			default:
+				fmt.Printf("ok   %s %s: %.0f allocs/op (exact)\n", want.Package, want.Name, allocs)
+			}
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d regression(s) against trajectory entry %q\n", failures, entry.Label)
+		return 1
+	}
+	fmt.Printf("benchdiff: no regressions against trajectory entry %q\n", entry.Label)
+	return 0
+}
+
+// loadFresh indexes the bench2json artifact by package+name, normalizing
+// away the "-N" GOMAXPROCS suffix Go appends when GOMAXPROCS != 1.
+func loadFresh(path string) (map[string]freshBenchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out freshResults
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	idx := make(map[string]freshBenchmark, len(out.Benchmarks))
+	for _, b := range out.Benchmarks {
+		idx[benchKey(b.Package, b.Name)] = b
+	}
+	return idx, nil
+}
+
+func loadTrajectory(path string) (*trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(t.Entries) == 0 {
+		return nil, fmt.Errorf("%s: no trajectory entries", path)
+	}
+	for _, e := range t.Entries {
+		if e.Label == "" || len(e.Benchmarks) == 0 {
+			return nil, fmt.Errorf("%s: entry missing label or benchmarks", path)
+		}
+		for _, b := range e.Benchmarks {
+			if b.Package == "" || b.Name == "" || b.NsPerOp <= 0 {
+				return nil, fmt.Errorf("%s: entry %q has a malformed benchmark record", path, e.Label)
+			}
+		}
+	}
+	return &t, nil
+}
+
+// benchKey normalizes a benchmark identity: the "-8" style suffix
+// encodes GOMAXPROCS, not identity.
+func benchKey(pkg, name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		allDigits := i+1 < len(name)
+		for _, c := range name[i+1:] {
+			if c < '0' || c > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			name = name[:i]
+		}
+	}
+	return pkg + "\x00" + name
+}

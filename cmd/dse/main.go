@@ -9,6 +9,7 @@
 //	dse -workloads lbm,omnetpp -budget 0  # exhaustive on two workloads
 //	dse -checkpoint s.json                # resumable: state saved per batch
 //	dse -checkpoint s.json -resume        # continue an interrupted search
+//	dse -screen 20000 -budget 16          # multi-fidelity: screen cheap, promote survivors
 //	dse -json                             # machine-readable result
 //
 // The search is deterministic for a given flag set and -seed: interrupt
@@ -26,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -33,6 +35,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	families := flag.String("families", "", "comma-separated design families to explore (default: every registered family except the baseline)")
 	workloads := flag.String("workloads", "lbm,omnetpp,mcf", "comma-separated evaluation workloads (empty: all 30)")
 	budget := flag.Int("budget", 32, "max candidate evaluations, stopping at a batch boundary (0: exhaustive)")
@@ -49,21 +55,57 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "JSON state file, rewritten atomically after every batch")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of a Markdown table")
+	screen := flag.Uint64("screen", 0, "multi-fidelity screening: instructions per core for the screening phase (0: single fidelity)")
+	screenBudget := flag.Int("screenbudget", 0, "max screening evaluations (0: 4x -budget); only with -screen")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken at search end to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dse:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dse:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dse:", err)
+			}
+		}()
+	}
+
 	opts := hybridmem.ExploreOptions{
-		Families:     splitList(*families),
-		Workloads:    splitList(*workloads),
-		Budget:       *budget,
-		BatchSize:    *batch,
-		Seed:         *seed,
-		Config:       hybridmem.Config{Scale: *scale, NMRatio16: *ratio, InstrPerCore: *instr, Seed: *simSeed},
-		Parallelism:  *parallel,
-		MaxPerParam:  *maxvals,
-		UnboundedMax: *ubound,
-		MaxBatches:   *maxBatches,
-		Checkpoint:   *checkpoint,
-		Resume:       *resume,
+		Families:           splitList(*families),
+		Workloads:          splitList(*workloads),
+		Budget:             *budget,
+		BatchSize:          *batch,
+		Seed:               *seed,
+		Config:             hybridmem.Config{Scale: *scale, NMRatio16: *ratio, InstrPerCore: *instr, Seed: *simSeed},
+		ScreenInstrPerCore: *screen,
+		ScreenBudget:       *screenBudget,
+		Parallelism:        *parallel,
+		MaxPerParam:        *maxvals,
+		UnboundedMax:       *ubound,
+		MaxBatches:         *maxBatches,
+		Checkpoint:         *checkpoint,
+		Resume:             *resume,
 		Progress: func(p hybridmem.ExploreProgress) {
 			if p.Done {
 				return
@@ -71,6 +113,11 @@ func main() {
 			target := p.Budget
 			if target <= 0 || target > p.SpaceSize {
 				target = p.SpaceSize
+			}
+			if p.Screened > 0 {
+				fmt.Fprintf(os.Stderr, "dse: batch %d: %d screened, %d/%d candidates evaluated, frontier %d\n",
+					p.Batch, p.Screened, p.Evaluated, target, p.FrontierSize)
+				return
 			}
 			fmt.Fprintf(os.Stderr, "dse: batch %d: %d/%d candidates evaluated, frontier %d\n",
 				p.Batch, p.Evaluated, target, p.FrontierSize)
@@ -99,10 +146,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dse: checkpoint flushed to %s; rerun with -resume to continue\n", *checkpoint)
 			}
 		}
-		os.Exit(130)
+		return 130
 	default:
 		fmt.Fprintln(os.Stderr, "dse:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	if !res.Complete {
@@ -118,12 +165,13 @@ func main() {
 		data, err := res.WireJSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dse:", err)
-			os.Exit(1)
+			return 1
 		}
 		os.Stdout.Write(data)
-		return
+		return 0
 	}
 	printFrontier(res)
+	return 0
 }
 
 // splitList parses a comma-separated flag; empty means nil (defaults).
@@ -147,6 +195,10 @@ func printFrontier(res hybridmem.ExploreResult) {
 		if p.Infeasible {
 			infeasible++
 		}
+	}
+	if len(res.Screened) > 0 {
+		fmt.Printf("Screened %d of %d candidates at reduced fidelity; promoted %d to full fidelity.\n",
+			len(res.Screened), res.SpaceSize, len(res.Evaluated))
 	}
 	fmt.Printf("Evaluated %d of %d candidates (%d infeasible) in %d batch(es); %d on the Pareto frontier.\n\n",
 		len(res.Evaluated), res.SpaceSize, infeasible, res.Batches, len(res.Frontier))

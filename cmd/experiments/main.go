@@ -8,6 +8,8 @@
 //	experiments -quick           # subsampled workloads, shorter streams
 //	experiments -parallel 1      # force serial execution
 //	experiments -designs         # the design registry as a Markdown table
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof -run fig12
+//	                             # profile a sweep (inspect with go tool pprof)
 //
 //	experiments -runjson HYBRID2@lbm          # one run, shared JSON schema
 //	experiments -sweepjson Baseline,HYBRID2@lbm,mcf
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,6 +39,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	runSel := flag.String("run", "all",
 		"comma-separated subset of: tab1,tab2,fig1,fig2,fig11,fig12,fig13,fig14,fig15,fig16,fig17,fig18,ablation,seeds,extras,paths,prefetch,detail")
 	quick := flag.Bool("quick", false, "subsample workloads and shorten streams")
@@ -49,18 +56,50 @@ func main() {
 	ratio := flag.Int("ratio", 1, "NM:FM capacity ratio in sixteenths for -runjson/-sweepjson (1, 2 or 4)")
 	runJSON := flag.String("runjson", "", "run one DESIGN@WORKLOAD and print the shared JSON result encoding, then exit")
 	sweepJSON := flag.String("sweepjson", "", "run a D1,D2,...@W1,W2,... sweep and print the shared JSON result encoding, then exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if *designs {
 		printDesignTable()
-		return
+		return 0
 	}
 	if *runJSON != "" || *sweepJSON != "" {
 		if err := emitJSON(*runJSON, *sweepJSON, *scale, *ratio, *instr, *seed, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var r *exp.Runner
@@ -181,9 +220,10 @@ func main() {
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run %q\n", *runSel)
-		os.Exit(2)
+		return 2
 	}
 	fmt.Printf("-- %d artifact(s) in %v --\n", ran, time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 // emitJSON runs the -runjson or -sweepjson selection through the same

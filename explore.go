@@ -35,6 +35,17 @@ type ExploreOptions struct {
 	// Config configures the underlying simulations; its zero value
 	// means DefaultConfig with InstrPerCore 200_000.
 	Config Config
+	// ScreenInstrPerCore, when non-zero, enables multi-fidelity search:
+	// candidates are first screened at this truncated per-core
+	// instruction budget, and only the screening Pareto frontier plus
+	// its screened feasible ladder neighbors are promoted to
+	// full-fidelity evaluation against Budget. Screening runs are cheap,
+	// so the search covers several times more of the space for the same
+	// total simulated instructions. Requires a positive Budget.
+	ScreenInstrPerCore uint64
+	// ScreenBudget bounds screening evaluations; <= 0 means 4x Budget.
+	// Only meaningful with ScreenInstrPerCore set.
+	ScreenBudget int
 	// Parallelism bounds concurrently evaluated runs; <= 0 means
 	// GOMAXPROCS. It does not affect results.
 	Parallelism int
@@ -74,7 +85,10 @@ type ExploreProgress struct {
 	Budget       int
 	SpaceSize    int
 	FrontierSize int
-	Done         bool
+	// Screened counts screening-fidelity evaluations of a multi-fidelity
+	// exploration; zero when screening is disabled.
+	Screened int
+	Done     bool
 }
 
 // ExplorePoint is one evaluated candidate design of an exploration.
@@ -105,6 +119,11 @@ type ExploreResult struct {
 	Frontier []ExplorePoint `json:"frontier"`
 	// Evaluated lists every evaluated candidate in evaluation order.
 	Evaluated []ExplorePoint `json:"evaluated"`
+	// Screened lists the screening-fidelity evaluations of a
+	// multi-fidelity exploration in evaluation order; empty when
+	// screening is disabled. Screened objectives are measured at
+	// ScreenInstrPerCore and are not comparable to Evaluated's.
+	Screened []ExplorePoint `json:"screened,omitempty"`
 	// SpaceSize is the enumerated candidate-space size; Batches the
 	// number of batches run (including checkpointed ones on resume).
 	SpaceSize int `json:"space_size"`
@@ -165,31 +184,35 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 				Budget:       e.Budget,
 				SpaceSize:    e.SpaceSize,
 				FrontierSize: e.FrontierSize,
+				Screened:     e.Screened,
 				Done:         e.Done,
 			})
 		}
 	}
 	res, err := dse.Search(ctx, dse.Options{
-		Families:     opts.Families,
-		Workloads:    opts.Workloads,
-		Budget:       opts.Budget,
-		BatchSize:    opts.BatchSize,
-		MaxRounds:    opts.MaxBatches,
-		Seed:         opts.Seed,
-		Scale:        cfg.Scale,
-		InstrPerCore: cfg.InstrPerCore,
-		SimSeed:      cfg.Seed,
-		Ratio16:      cfg.NMRatio16,
-		Parallelism:  opts.Parallelism,
-		MaxPerParam:  opts.MaxPerParam,
-		UnboundedMax: opts.UnboundedMax,
-		Checkpoint:   opts.Checkpoint,
-		Resume:       opts.Resume,
-		Progress:     progress,
+		Families:           opts.Families,
+		Workloads:          opts.Workloads,
+		Budget:             opts.Budget,
+		BatchSize:          opts.BatchSize,
+		MaxRounds:          opts.MaxBatches,
+		Seed:               opts.Seed,
+		Scale:              cfg.Scale,
+		InstrPerCore:       cfg.InstrPerCore,
+		SimSeed:            cfg.Seed,
+		Ratio16:            cfg.NMRatio16,
+		ScreenInstrPerCore: opts.ScreenInstrPerCore,
+		ScreenBudget:       opts.ScreenBudget,
+		Parallelism:        opts.Parallelism,
+		MaxPerParam:        opts.MaxPerParam,
+		UnboundedMax:       opts.UnboundedMax,
+		Checkpoint:         opts.Checkpoint,
+		Resume:             opts.Resume,
+		Progress:           progress,
 	})
 	out := ExploreResult{
 		Frontier:  fromPoints(res.Frontier),
 		Evaluated: fromPoints(res.Evaluated),
+		Screened:  fromPoints(res.Screened),
 		SpaceSize: res.SpaceSize,
 		Batches:   res.Rounds,
 		Resumed:   res.Resumed,

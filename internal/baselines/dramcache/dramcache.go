@@ -67,22 +67,41 @@ func Alloy(nmBytes uint64) Config {
 	return Config{Name: "ALLOY", NMBytes: nmBytes, LineBytes: 64, Assoc: 1, TADBytes: 72}
 }
 
-type entry struct {
-	tag      uint64
-	valid    bool
-	dirty    bool
-	usedMask uint64 // per-64B chunk touch bits (lines up to 4 KB)
-	lru      uint64
-}
+// Entry state is struct-of-arrays: one tag word and one use mask per
+// way, plus an LRU stamp array left out for direct-mapped configs. The
+// valid/dirty/listed flags live in spare high bits of the tag word —
+// physical addresses fit well below 2^58 line-granularity tags — so a
+// probe walks a compact tag vector and construction zeroes roughly half
+// the memory of the old 32-byte array-of-structs entries. That zeroing
+// is a first-order cost: a 64 B-line cache over scaled NM has millions
+// of entries and sweeps construct one per (design, workload) run.
+const (
+	tagValid  = 1 << 63
+	tagDirty  = 1 << 62
+	tagListed = 1 << 61
+	tagMask   = tagListed - 1
+)
 
 // Cache is a DRAM cache over the NM device backed by the FM device.
 type Cache struct {
-	cfg      Config
-	nm, fm   *memsys.Device
-	entries  []entry
+	cfg    Config
+	nm, fm *memsys.Device
+
+	tags []uint64 // sets*assoc, indexed set*assoc+way; flags in high bits
+	lrus []uint64 // nil when assoc == 1: no replacement choice to order
+	used []uint64 // per-64B chunk touch bits (lines up to 4 KB)
+
+	// touched lists every slot that ever held a line, in first-fill
+	// order, so Finish credits resident use masks without scanning the
+	// whole (potentially tens of millions of entries) array.
+	touched []int32
+
 	sets     int
 	assoc    int
 	shift    uint
+	setBits  uint
+	setMask  uint64
+	lineMask uint64
 	chunks   int // 64 B chunks per line
 	clock    uint64
 	stats    memtypes.MemStats
@@ -100,17 +119,26 @@ func New(cfg Config, nm, fm *memsys.Device) *Cache {
 	if 1<<shift != cfg.LineBytes || cfg.LineBytes < 64 {
 		panic("dramcache: line size must be a power of two >= 64")
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		nm:       nm,
 		fm:       fm,
-		entries:  make([]entry, sets*cfg.Assoc),
+		tags:     make([]uint64, sets*cfg.Assoc),
+		used:     make([]uint64, sets*cfg.Assoc),
+		touched:  make([]int32, 0, 1024),
 		sets:     sets,
 		assoc:    cfg.Assoc,
 		shift:    shift,
+		setBits:  uint(bits.TrailingZeros(uint(sets))),
+		setMask:  uint64(sets - 1),
+		lineMask: uint64(cfg.LineBytes - 1),
 		chunks:   cfg.LineBytes / 64,
 		metaBase: memtypes.Addr(cfg.NMBytes),
 	}
+	if cfg.Assoc > 1 {
+		c.lrus = make([]uint64, sets*cfg.Assoc)
+	}
+	return c
 }
 
 // Name implements MemorySystem.
@@ -131,19 +159,20 @@ func (c *Cache) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtyp
 	now += c.cfg.TagLatency
 
 	blk := uint64(addr) >> c.shift
-	set := int(blk % uint64(c.sets))
-	tag := blk / uint64(c.sets)
-	chunk := uint(uint64(addr) % uint64(c.cfg.LineBytes) / 64)
-	ways := c.entries[set*c.assoc : (set+1)*c.assoc]
+	set := int(blk & c.setMask)
+	tag := blk >> c.setBits
+	chunk := uint(uint64(addr) & c.lineMask >> 6)
+	base := set * c.assoc
 
-	victim := 0
-	for i := range ways {
-		w := &ways[i]
-		if w.valid && w.tag == tag {
-			w.lru = c.clock
-			w.usedMask |= 1 << chunk
+	for i := 0; i < c.assoc; i++ {
+		w := c.tags[base+i]
+		if w&tagValid != 0 && w&tagMask == tag {
+			if c.assoc > 1 {
+				c.lrus[base+i] = c.clock
+			}
+			c.used[base+i] |= 1 << chunk
 			if write {
-				w.dirty = true
+				c.tags[base+i] = w | tagDirty
 			}
 			c.stats.ServedNM++
 			sz := 64
@@ -158,19 +187,32 @@ func (c *Cache) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtyp
 			}
 			return done
 		}
-		if !ways[victim].valid {
-			continue
-		}
-		if !w.valid || w.lru < ways[victim].lru {
-			victim = i
-		}
 	}
 
-	// Miss: evict the victim, fetch the whole line from FM.
+	// Miss: pick the victim the way the old array-of-structs scan did —
+	// the first invalid way when one exists, else the lowest-indexed way
+	// with the minimum LRU stamp — then evict it and fetch the whole line
+	// from FM.
 	c.stats.ServedFM++
-	w := &ways[victim]
+	victim := 0
+	if c.assoc > 1 {
+		victim = -1
+		minI := 0
+		for i := 0; i < c.assoc; i++ {
+			if c.tags[base+i]&tagValid == 0 {
+				victim = i
+				break
+			}
+			if c.lrus[base+i] < c.lrus[base+minI] {
+				minI = i
+			}
+		}
+		if victim < 0 {
+			victim = minI
+		}
+	}
 	slot := c.nmAddr(set, victim)
-	if w.valid {
+	if c.tags[base+victim]&tagValid != 0 {
 		c.evict(now, set, victim)
 	}
 
@@ -200,37 +242,46 @@ func (c *Cache) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtyp
 	c.nm.AccessBG(fullDone, slot, c.cfg.LineBytes, true)
 	c.stats.NMWriteBytes += uint64(c.cfg.LineBytes)
 
-	w.valid = true
-	w.tag = tag
-	w.dirty = write
-	w.usedMask = 1 << chunk
-	w.lru = c.clock
+	newTag := tag | tagValid | tagListed
+	if write {
+		newTag |= tagDirty
+	}
+	if c.tags[base+victim]&tagListed == 0 {
+		c.touched = append(c.touched, int32(base+victim))
+	}
+	c.tags[base+victim] = newTag
+	c.used[base+victim] = 1 << chunk
+	if c.assoc > 1 {
+		c.lrus[base+victim] = c.clock
+	}
 	return fetchDone
 }
 
 // evict writes a dirty victim back to FM and accounts its used chunks.
 func (c *Cache) evict(now memtypes.Tick, set, way int) {
-	w := &c.entries[set*c.assoc+way]
-	c.stats.UsedBytes += uint64(bits.OnesCount64(w.usedMask)) * 64
+	idx := set*c.assoc + way
+	w := c.tags[idx]
+	c.stats.UsedBytes += uint64(bits.OnesCount64(c.used[idx])) * 64
 	c.stats.Evictions++
-	if w.dirty {
+	if w&tagDirty != 0 {
 		rd := c.nm.AccessBG(now, c.nmAddr(set, way), c.cfg.LineBytes, false)
-		victimAddr := memtypes.Addr((w.tag*uint64(c.sets) + uint64(set)) << c.shift)
+		victimAddr := memtypes.Addr(((w&tagMask)<<c.setBits | uint64(set)) << c.shift)
 		c.fm.AccessBG(rd, victimAddr, c.cfg.LineBytes, true)
 		c.stats.NMReadBytes += uint64(c.cfg.LineBytes)
 		c.stats.FMWriteBytes += uint64(c.cfg.LineBytes)
 	}
-	w.valid = false
+	c.tags[idx] = w &^ tagValid
 }
 
 // Finish credits the use masks of still-resident lines so the wasted-data
-// fraction is not overstated at simulation end.
+// fraction is not overstated at simulation end. Only slots that ever held
+// a line are visited; the accumulation is commutative, so the first-fill
+// visit order matches the old full scan's result exactly.
 func (c *Cache) Finish(memtypes.Tick) {
-	for i := range c.entries {
-		w := &c.entries[i]
-		if w.valid {
-			c.stats.UsedBytes += uint64(bits.OnesCount64(w.usedMask)) * 64
-			w.usedMask = 0
+	for _, idx := range c.touched {
+		if c.tags[idx]&tagValid != 0 {
+			c.stats.UsedBytes += uint64(bits.OnesCount64(c.used[idx])) * 64
+			c.used[idx] = 0
 		}
 	}
 }

@@ -55,28 +55,9 @@ func NewSpace(sectorBytes int, nmBytes, fmBytes uint64, nm, fm *memsys.Device, s
 		stats:          stats,
 		remapTableBase: memtypes.Addr(nmBytes) - memtypes.Addr(total)*8,
 	}
-	// Seeded Fisher-Yates over physical slots.
-	perm := make([]uint32, total)
-	for i := range perm {
-		perm[i] = uint32(i)
-	}
-	rng := seed | 1
-	for i := total - 1; i > 0; i-- {
-		rng ^= rng >> 12
-		rng ^= rng << 25
-		rng ^= rng >> 27
-		j := uint32((rng * 0x2545F4914F6CDD1D) % uint64(i+1))
-		perm[i], perm[j] = perm[j], perm[i]
-	}
-	for logical, phys := range perm {
-		if phys < nmSec {
-			s.remap[logical] = Loc{NM: true, Idx: phys}
-			s.nmOwner[phys] = uint32(logical)
-		} else {
-			s.remap[logical] = Loc{NM: false, Idx: phys - nmSec}
-			s.fmOwner[phys-nmSec] = uint32(logical)
-		}
-	}
+	// Seeded Fisher-Yates over physical slots, memoized per (seed,
+	// geometry) — see placement.go.
+	initialPlacement(seed, nmSec, fmSec, s.remap, s.nmOwner, s.fmOwner)
 	return s
 }
 

@@ -3,7 +3,11 @@
 // (Table 1: 8 MB, 16-way, 14-cycle access, non-inclusive non-exclusive).
 package cachesim
 
-import "hybridmem/internal/memtypes"
+import (
+	"math/bits"
+
+	"hybridmem/internal/memtypes"
+)
 
 // Victim describes a line evicted by an allocation.
 type Victim struct {
@@ -11,22 +15,25 @@ type Victim struct {
 	Dirty bool
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64
-}
-
 // Cache is a single-level set-associative cache with true-LRU replacement
 // and write-allocate/write-back policy. It is a functional model: timing
 // is the caller's concern (the driver adds the fixed access latency).
+//
+// State is laid out struct-of-arrays: per-way tags and LRU stamps in flat
+// slices plus one valid/dirty bitmask word per set, so a lookup touches a
+// couple of cache lines instead of a line per way.
 type Cache struct {
-	lines     []line
+	tags      []uint64 // sets*assoc, indexed set*assoc+way
+	lrus      []uint64 // sets*assoc, last-touch clock per way
+	valid     []uint64 // per-set bitmask of valid ways
+	dirty     []uint64 // per-set bitmask of dirty ways
 	assoc     int
 	sets      int
 	lineBytes int
 	setShift  uint
+	setBits   uint
+	setMask   uint64
+	fullMask  uint64
 	clock     uint64
 
 	Accesses uint64
@@ -35,10 +42,14 @@ type Cache struct {
 }
 
 // New builds a cache of sizeBytes capacity. sizeBytes must be a multiple
-// of assoc*lineBytes and the resulting set count must be a power of two.
+// of assoc*lineBytes, the resulting set count must be a power of two, and
+// assoc must be at most 64 (one bitmask word per set).
 func New(sizeBytes, assoc, lineBytes int) *Cache {
 	if sizeBytes <= 0 || assoc <= 0 || lineBytes <= 0 {
 		panic("cachesim: non-positive geometry")
+	}
+	if assoc > 64 {
+		panic("cachesim: associativity above 64 not supported")
 	}
 	sets := sizeBytes / (assoc * lineBytes)
 	if sets == 0 || sets&(sets-1) != 0 {
@@ -51,12 +62,22 @@ func New(sizeBytes, assoc, lineBytes int) *Cache {
 	if 1<<shift != lineBytes {
 		panic("cachesim: line size must be a power of two")
 	}
+	fullMask := ^uint64(0)
+	if assoc < 64 {
+		fullMask = 1<<uint(assoc) - 1
+	}
 	return &Cache{
-		lines:     make([]line, sets*assoc),
+		tags:      make([]uint64, sets*assoc),
+		lrus:      make([]uint64, sets*assoc),
+		valid:     make([]uint64, sets),
+		dirty:     make([]uint64, sets),
 		assoc:     assoc,
 		sets:      sets,
 		lineBytes: lineBytes,
 		setShift:  shift,
+		setBits:   uint(bits.TrailingZeros(uint(sets))),
+		setMask:   uint64(sets - 1),
+		fullMask:  fullMask,
 	}
 }
 
@@ -69,51 +90,59 @@ func (c *Cache) Access(addr memtypes.Addr, write bool) (hit bool, victim Victim,
 	c.Accesses++
 	c.clock++
 	blk := uint64(addr) >> c.setShift
-	set := int(blk % uint64(c.sets))
-	tag := blk / uint64(c.sets)
-	ways := c.lines[set*c.assoc : (set+1)*c.assoc]
-
-	lruIdx := 0
-	for i := range ways {
-		w := &ways[i]
-		if w.valid && w.tag == tag {
-			w.lru = c.clock
+	set := int(blk & c.setMask)
+	tag := blk >> c.setBits
+	base := set * c.assoc
+	vm := c.valid[set]
+	for m := vm; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if c.tags[base+i] == tag {
+			c.lrus[base+i] = c.clock
 			if write {
-				w.dirty = true
+				c.dirty[set] |= 1 << uint(i)
 			}
 			return true, Victim{}, false
-		}
-		if !ways[lruIdx].valid {
-			continue // keep first invalid way as the allocation target
-		}
-		if !w.valid || w.lru < ways[lruIdx].lru {
-			lruIdx = i
 		}
 	}
 
 	c.Misses++
-	w := &ways[lruIdx]
-	if w.valid {
+	// Victim choice matches the AoS model exactly: the first invalid way
+	// when one exists, else the lowest-indexed way with the minimum LRU
+	// stamp.
+	var idx int
+	if vm != c.fullMask {
+		idx = bits.TrailingZeros64(^vm)
+	} else {
+		idx = 0
+		for i := 1; i < c.assoc; i++ {
+			if c.lrus[base+i] < c.lrus[base+idx] {
+				idx = i
+			}
+		}
 		c.Evicts++
-		victimBlk := (w.tag*uint64(c.sets) + uint64(set)) << c.setShift
-		victim = Victim{Addr: memtypes.Addr(victimBlk), Dirty: w.dirty}
+		victimBlk := (c.tags[base+idx]<<c.setBits | uint64(set)) << c.setShift
+		victim = Victim{Addr: memtypes.Addr(victimBlk), Dirty: c.dirty[set]&(1<<uint(idx)) != 0}
 		evicted = true
 	}
-	w.valid = true
-	w.tag = tag
-	w.dirty = write
-	w.lru = c.clock
+	c.valid[set] |= 1 << uint(idx)
+	c.tags[base+idx] = tag
+	if write {
+		c.dirty[set] |= 1 << uint(idx)
+	} else {
+		c.dirty[set] &^= 1 << uint(idx)
+	}
+	c.lrus[base+idx] = c.clock
 	return false, victim, evicted
 }
 
 // Contains reports whether addr is currently resident (no LRU update).
 func (c *Cache) Contains(addr memtypes.Addr) bool {
 	blk := uint64(addr) >> c.setShift
-	set := int(blk % uint64(c.sets))
-	tag := blk / uint64(c.sets)
-	ways := c.lines[set*c.assoc : (set+1)*c.assoc]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	set := int(blk & c.setMask)
+	tag := blk >> c.setBits
+	base := set * c.assoc
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		if c.tags[base+bits.TrailingZeros64(m)] == tag {
 			return true
 		}
 	}

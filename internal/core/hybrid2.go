@@ -243,39 +243,19 @@ func New(cfg Config, nm, fm *memsys.Device) *Hybrid2 {
 	}
 
 	// Initial placement. Normal modes: logical sectors spread randomly
-	// over flat NM + FM proportionally to capacity (§4). CacheOnly: the
+	// over flat NM + FM proportionally to capacity (§4), memoized per
+	// (seed, geometry) in placement.go — the fill also leaves occupied NM
+	// slots in state slotFlat, the slice's zero value. CacheOnly: the
 	// flat NM region is unused and everything lives in FM at its home.
-	for i := range h.invRemap {
-		h.invRemap[i] = invalidLogical
-	}
 	if cfg.Mode == CacheOnly {
+		for i := range h.invRemap {
+			h.invRemap[i] = invalidLogical
+		}
 		for l := range h.remap {
 			h.remap[l] = loc{nm: false, idx: uint32(l) % fmSec}
 		}
 	} else {
-		perm := make([]uint32, len(h.remap))
-		for i := range perm {
-			perm[i] = uint32(i)
-		}
-		rng := cfg.Seed | 1
-		for i := len(perm) - 1; i > 0; i-- {
-			rng ^= rng >> 12
-			rng ^= rng << 25
-			rng ^= rng >> 27
-			j := int((rng * 0x2545F4914F6CDD1D) % uint64(i+1))
-			perm[i], perm[j] = perm[j], perm[i]
-		}
-		for logical, phys := range perm {
-			if phys < flat {
-				// Flat NM slots occupy pool indices [cacheSlots, pool).
-				slot := cacheSlots + phys
-				h.remap[logical] = loc{nm: true, idx: slot}
-				h.invRemap[slot] = uint32(logical)
-				h.slotState[slot] = slotFlat
-			} else {
-				h.remap[logical] = loc{nm: false, idx: phys - flat}
-			}
-		}
+		initialPlacement(cfg.Seed, flat, fmSec, cacheSlots, h.remap, h.invRemap)
 	}
 	// Cache slots start free, at pool indices [0, cacheSlots).
 	for s := uint32(0); s < cacheSlots; s++ {

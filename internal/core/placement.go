@@ -1,0 +1,100 @@
+package core
+
+import "sync"
+
+// The seeded initial placement of flat sectors is a pure function of
+// (seed, geometry); rebuilding it with a full Fisher-Yates shuffle — a
+// hardware division per sector — on every Hybrid2 construction dominated
+// sweep setup time. The cache below memoizes the derived remap/invRemap
+// contents; a hit replaces the shuffle with two memmoves. A placement is
+// only snapshotted on its second build — one-off seeds (per-run seeds of
+// a benchmark iteration) never pay the snapshot's allocation and copy,
+// while sweeps, which rebuild the same placement once per (design,
+// workload) pair, hit from the third build on.
+
+type placementKey struct {
+	seed       uint64
+	flat       uint32
+	fmSec      uint32
+	cacheSlots uint32
+}
+
+// placementSnap with nil remap marks a key seen once but not yet worth
+// snapshotting.
+type placementSnap struct {
+	remap    []loc
+	invRemap []uint32 // full pool length; cache-slot entries invalidLogical
+}
+
+const placementCacheMax = 8
+
+var (
+	placementMu    sync.Mutex
+	placementCache = map[placementKey]*placementSnap{}
+	placementOrder []placementKey // FIFO eviction
+)
+
+// initialPlacement fills remap (len flat+fmSec) and invRemap (len pool,
+// pre-sized by the caller) with the seeded random placement, via the
+// snapshot cache.
+func initialPlacement(seed uint64, flat, fmSec, cacheSlots uint32, remap []loc, invRemap []uint32) {
+	k := placementKey{seed, flat, fmSec, cacheSlots}
+	placementMu.Lock()
+	snap := placementCache[k]
+	if snap != nil && snap.remap != nil {
+		placementMu.Unlock()
+		copy(remap, snap.remap)
+		copy(invRemap, snap.invRemap)
+		return
+	}
+	placementMu.Unlock()
+
+	buildPlacement(seed, flat, fmSec, cacheSlots, remap, invRemap)
+
+	placementMu.Lock()
+	defer placementMu.Unlock()
+	switch snap = placementCache[k]; {
+	case snap == nil:
+		// First sighting: record the key, skip the snapshot.
+		if len(placementOrder) >= placementCacheMax {
+			delete(placementCache, placementOrder[0])
+			placementOrder = placementOrder[1:]
+		}
+		placementCache[k] = &placementSnap{}
+		placementOrder = append(placementOrder, k)
+	case snap.remap == nil:
+		// Second build of the same placement: it repeats, so memoize.
+		snap.remap = append([]loc(nil), remap...)
+		snap.invRemap = append([]uint32(nil), invRemap...)
+	}
+}
+
+// buildPlacement runs the seeded shuffle New always ran, writing straight
+// into the caller's arrays.
+func buildPlacement(seed uint64, flat, fmSec, cacheSlots uint32, remap []loc, invRemap []uint32) {
+	for i := range invRemap {
+		invRemap[i] = invalidLogical
+	}
+	perm := make([]uint32, uint64(flat)+uint64(fmSec))
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	rng := seed | 1
+	for i := len(perm) - 1; i > 0; i-- {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		j := int((rng * 0x2545F4914F6CDD1D) % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for logical, phys := range perm {
+		if phys < flat {
+			// Flat NM slots occupy pool indices [cacheSlots, pool).
+			slot := cacheSlots + phys
+			remap[logical] = loc{nm: true, idx: slot}
+			invRemap[slot] = uint32(logical)
+		} else {
+			remap[logical] = loc{nm: false, idx: phys - flat}
+		}
+	}
+}

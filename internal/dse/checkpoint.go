@@ -34,6 +34,13 @@ type checkpoint struct {
 	// points.
 	BaselineCycles []uint64 `json:"baseline_cycles"`
 	Evaluated      []Point  `json:"evaluated"`
+	// Multi-fidelity state, present only when screening is enabled (the
+	// fingerprint then carries the screening fidelity too): the
+	// screening-fidelity baseline and the screened points in evaluation
+	// order. The promotion list is a pure function of Screened and is
+	// recomputed on load.
+	ScreenBaselineCycles []uint64 `json:"screen_baseline_cycles,omitempty"`
+	Screened             []Point  `json:"screened,omitempty"`
 }
 
 // saveCheckpoint writes the state atomically and durably (temp file,

@@ -38,6 +38,23 @@
 // candidates that fail to build at the simulated scale are recorded as
 // infeasible so a resumed search does not retry them.
 //
+// # Multi-fidelity screening
+//
+// With Options.ScreenInstrPerCore set, the search runs in two phases.
+// A screening phase first explores up to ScreenBudget candidates at the
+// truncated instruction budget, using the same round machinery
+// (exploration then hill-climbing) against a screening-fidelity
+// baseline. When screening completes, the survivors — the screening
+// frontier plus its screened feasible ladder neighbors, in a
+// deterministic name-sorted order — are promoted to full fidelity and
+// evaluated in checkpointed rounds up to Budget. Screening runs are an
+// order of magnitude cheaper than full runs, so for the same total
+// instruction budget the search covers several times more of the space;
+// only the promoted survivors pay full price. The screening fidelity is
+// part of the checkpoint fingerprint, and the screened points are
+// checkpointed alongside the full evaluations, so interrupted
+// multi-fidelity searches resume byte-identically in either phase.
+//
 // # Checkpointing
 //
 // With Options.Checkpoint set, the search atomically rewrites a JSON
@@ -100,6 +117,15 @@ type Options struct {
 	InstrPerCore uint64
 	SimSeed      uint64
 	Ratio16      int
+	// ScreenInstrPerCore, when non-zero, enables multi-fidelity search:
+	// candidates are first screened at this truncated instruction budget
+	// and only the screening frontier (plus its screened feasible ladder
+	// neighbors) is promoted to full-fidelity evaluation. Requires a
+	// positive Budget.
+	ScreenInstrPerCore uint64
+	// ScreenBudget bounds screening evaluations; <= 0 means 4x Budget.
+	// Only meaningful with ScreenInstrPerCore set.
+	ScreenBudget int
 	// Parallelism bounds concurrently evaluated runs; <= 0 means
 	// GOMAXPROCS. It does not affect results.
 	Parallelism int
@@ -128,6 +154,9 @@ type Event struct {
 	Budget       int
 	SpaceSize    int
 	FrontierSize int
+	// Screened counts screening-fidelity evaluations (multi-fidelity
+	// searches only; zero otherwise).
+	Screened int
 	// Done marks the final event of the search.
 	Done bool
 }
@@ -140,6 +169,11 @@ type Result struct {
 	// Evaluated lists every evaluated candidate in evaluation order —
 	// the deterministic audit trail of the search.
 	Evaluated []Point `json:"evaluated"`
+	// Screened lists the screening-fidelity evaluations of a
+	// multi-fidelity search in evaluation order; empty (and omitted)
+	// when screening is disabled. Screened objectives are measured at
+	// ScreenInstrPerCore and are not comparable to Evaluated's.
+	Screened  []Point `json:"screened,omitempty"`
 	SpaceSize int     `json:"space_size"`
 	Rounds    int     `json:"rounds"`
 	// Resumed reports whether this search continued from a checkpoint;
@@ -173,7 +207,12 @@ func Search(ctx context.Context, opts Options) (Result, error) {
 		}
 	}
 	if s.baseline == nil {
-		if err := s.evalBaseline(ctx); err != nil {
+		if err := s.evalBaseline(ctx, false); err != nil {
+			return s.result(), err
+		}
+	}
+	if s.screening() && s.screenBaseline == nil {
+		if err := s.evalBaseline(ctx, true); err != nil {
 			return s.result(), err
 		}
 	}
@@ -183,11 +222,12 @@ func Search(ctx context.Context, opts Options) (Result, error) {
 			return s.result(), nil // paused; Complete stays false
 		}
 		rngBefore := s.rng.state
-		batch := s.nextBatch()
+		screen := s.screening() && !s.screenDone()
+		batch := s.nextBatch(screen)
 		if len(batch) == 0 {
 			break
 		}
-		pts, err := s.evalBatch(ctx, batch)
+		pts, err := s.evalBatch(ctx, batch, screen)
 		if err != nil {
 			// The aborted round never happened: restore the RNG so the
 			// flushed checkpoint reflects the last completed round, from
@@ -198,7 +238,7 @@ func Search(ctx context.Context, opts Options) (Result, error) {
 			}
 			return s.result(), err
 		}
-		s.merge(pts)
+		s.merge(pts, screen)
 		if err := s.flush(); err != nil {
 			return s.result(), err
 		}
@@ -228,6 +268,14 @@ type searcher struct {
 	seen     map[string]bool
 	front    frontier
 	resumed  bool
+
+	// Screening (multi-fidelity) state, populated only when
+	// Options.ScreenInstrPerCore is set.
+	screenRunner   *exp.Runner
+	screenBaseline []uint64
+	screened       []Point
+	screenSeen     map[string]bool
+	screenFront    frontier
 }
 
 // newSearcher validates and normalizes the options and enumerates the
@@ -253,6 +301,21 @@ func newSearcher(opts Options) (*searcher, error) {
 	}
 	if err := config.ValidateRun(opts.Scale, opts.Ratio16, opts.InstrPerCore); err != nil {
 		return nil, fmt.Errorf("dse: %w", err)
+	}
+	if opts.ScreenInstrPerCore > 0 {
+		if opts.Budget <= 0 {
+			return nil, errors.New("dse: multi-fidelity screening requires a positive Budget")
+		}
+		if err := config.ValidateRun(opts.Scale, opts.Ratio16, opts.ScreenInstrPerCore); err != nil {
+			return nil, fmt.Errorf("dse: screen fidelity: %w", err)
+		}
+		// Normalize the default here so explicit and defaulted spellings
+		// fingerprint identically.
+		if opts.ScreenBudget <= 0 {
+			opts.ScreenBudget = 4 * opts.Budget
+		}
+	} else {
+		opts.ScreenBudget = 0
 	}
 	// Normalize the enumeration bounds the same way EnumOptions resolves
 	// them, so the checkpoint fingerprint — which embeds them — matches
@@ -326,7 +389,25 @@ func newSearcher(opts Options) (*searcher, error) {
 		Seed:         opts.SimSeed,
 		Parallelism:  opts.Parallelism,
 	}
+	if s.screening() {
+		s.screenSeen = map[string]bool{}
+		s.screenRunner = &exp.Runner{
+			Scale:        opts.Scale,
+			InstrPerCore: opts.ScreenInstrPerCore,
+			Seed:         opts.SimSeed,
+			Parallelism:  opts.Parallelism,
+		}
+	}
 	return s, nil
+}
+
+// screening reports whether this is a multi-fidelity search.
+func (s *searcher) screening() bool { return s.opts.ScreenInstrPerCore > 0 }
+
+// screenDone reports whether the screening phase has finished: the
+// screening budget is spent or the whole space has been screened.
+func (s *searcher) screenDone() bool {
+	return len(s.screened) >= s.opts.ScreenBudget || len(s.screened) >= len(s.space)
 }
 
 // fingerprint encodes every option the round sequence depends on —
@@ -342,10 +423,17 @@ func (s *searcher) fingerprint() string {
 	for i, wl := range s.wls {
 		wls[i] = wl.Name
 	}
-	return fmt.Sprintf("v%d|fam=%s|wl=%s|budget=%d|seed=%d|simseed=%d|scale=%d|instr=%d|ratio=%d|batch=%d|maxvals=%d|ubound=%d",
+	fp := fmt.Sprintf("v%d|fam=%s|wl=%s|budget=%d|seed=%d|simseed=%d|scale=%d|instr=%d|ratio=%d|batch=%d|maxvals=%d|ubound=%d",
 		checkpointVersion, strings.Join(fams, ","), strings.Join(wls, ","), s.opts.Budget,
 		s.opts.Seed, s.opts.SimSeed, s.opts.Scale, s.opts.InstrPerCore,
 		s.opts.Ratio16, s.opts.BatchSize, s.enumOpts.MaxPerParam, s.enumOpts.UnboundedMax)
+	// The screening fidelity changes the round sequence, so it is part of
+	// the fingerprint — but only when enabled, so checkpoints written by
+	// single-fidelity searches (including pre-screening ones) stay valid.
+	if s.screening() {
+		fp += fmt.Sprintf("|screen=%d|sbudget=%d", s.opts.ScreenInstrPerCore, s.opts.ScreenBudget)
+	}
+	return fp
 }
 
 // restore loads a checkpoint into the searcher.
@@ -364,49 +452,87 @@ func (s *searcher) restore(ck *checkpoint) error {
 			return fmt.Errorf("dse: resume: checkpointed design %q is outside the search space", p.Design)
 		}
 	}
+	for _, p := range ck.Screened {
+		if _, ok := s.spaceIdx[p.Design]; !ok {
+			return fmt.Errorf("dse: resume: checkpointed screened design %q is outside the search space", p.Design)
+		}
+	}
+	if s.screening() && ck.ScreenBaselineCycles != nil && len(ck.ScreenBaselineCycles) != len(s.wls) {
+		return fmt.Errorf("dse: resume: checkpoint has %d screening baseline runs for %d workloads", len(ck.ScreenBaselineCycles), len(s.wls))
+	}
 	s.rng.state = ck.RNG
 	s.rounds = ck.Rounds
 	s.baseline = ck.BaselineCycles
-	s.record(ck.Evaluated)
+	s.screenBaseline = ck.ScreenBaselineCycles
+	s.record(ck.Screened, true)
+	s.record(ck.Evaluated, false)
 	s.resumed = true
 	return nil
 }
 
 // evalBaseline runs the no-NM baseline once per workload — the
-// normalization point of every candidate's speedup.
-func (s *searcher) evalBaseline(ctx context.Context) error {
+// normalization point of every candidate's speedup — at full or
+// screening fidelity.
+func (s *searcher) evalBaseline(ctx context.Context, screen bool) error {
+	runner := s.runner
+	if screen {
+		runner = s.screenRunner
+	}
 	runs := make([]exp.RunSpec, len(s.wls))
 	for i, wl := range s.wls {
 		runs[i] = exp.RunSpec{Workload: wl, Design: "Baseline", Ratio16: 1}
 	}
-	res, err := s.runner.ResultsParallelCtx(ctx, runs)
+	res, err := runner.ResultsParallelCtx(ctx, runs)
 	if err != nil {
 		return fmt.Errorf("dse: baseline: %w", err)
 	}
-	s.baseline = make([]uint64, len(s.wls))
+	cycles := make([]uint64, len(s.wls))
 	for i, r := range res {
 		if r.Cycles == 0 {
 			return fmt.Errorf("dse: baseline run of %s completed no cycles", s.wls[i].Name)
 		}
-		s.baseline[i] = uint64(r.Cycles)
+		cycles[i] = uint64(r.Cycles)
+	}
+	if screen {
+		s.screenBaseline = cycles
+	} else {
+		s.baseline = cycles
 	}
 	return nil
 }
 
 // done reports whether the search has nothing left to do.
 func (s *searcher) done() bool {
+	if s.screening() && !s.screenDone() {
+		return false // the screening phase is still running
+	}
 	if s.opts.Budget > 0 && len(s.evald) >= s.opts.Budget {
 		return true
 	}
 	return len(s.evald) >= len(s.space)
 }
 
-// nextBatch generates the next round of candidates. Only random picks
-// advance the RNG, so exhaustive searches are RNG-independent.
-func (s *searcher) nextBatch() []design.Spec {
+// nextBatch generates the next round of candidates for the given phase.
+// Only random picks advance the RNG, so exhaustive searches are
+// RNG-independent.
+func (s *searcher) nextBatch(screen bool) []design.Spec {
+	if screen {
+		return s.generateBatch(s.screenSeen, len(s.screened), s.opts.ScreenBudget, &s.screenFront)
+	}
+	if s.screening() {
+		return s.nextPromoted()
+	}
+	return s.generateBatch(s.seen, len(s.evald), s.opts.Budget, &s.front)
+}
+
+// generateBatch is the phase-independent round generator: exhaustive
+// enumeration when the space fits the budget, else seeded exploration
+// for the first half of the budget, then hill-climbing on the given
+// frontier's ladder neighborhoods.
+func (s *searcher) generateBatch(seen map[string]bool, evaluated, budget int, front *frontier) []design.Spec {
 	var unseen []design.Spec
 	for _, c := range s.space {
-		if !s.seen[c.Name] {
+		if !seen[c.Name] {
 			unseen = append(unseen, c)
 		}
 	}
@@ -417,17 +543,17 @@ func (s *searcher) nextBatch() []design.Spec {
 	if b > len(unseen) {
 		b = len(unseen)
 	}
-	if s.opts.Budget <= 0 || len(s.space) <= s.opts.Budget {
+	if budget <= 0 || len(s.space) <= budget {
 		return unseen[:b] // exhaustive: enumeration order
 	}
-	if len(s.evald) < s.opts.Budget/2 {
+	if evaluated < budget/2 {
 		return s.randomPick(unseen, b) // exploration phase
 	}
 	// Hill-climb: the unseen ladder neighbors of the frontier,
 	// name-sorted, topped up randomly when the neighborhood runs dry.
 	var nbrs []design.Spec
 	inBatch := map[string]bool{}
-	for _, p := range s.front.sortedByName() {
+	for _, p := range front.sortedByName() {
 		spec := s.space[s.spaceIdx[p.Design]]
 		ns, err := spec.Info.Neighbors(spec, s.enumOpts)
 		if err != nil {
@@ -437,7 +563,7 @@ func (s *searcher) nextBatch() []design.Spec {
 			if _, ok := s.spaceIdx[n.Name]; !ok {
 				continue
 			}
-			if s.seen[n.Name] || inBatch[n.Name] {
+			if seen[n.Name] || inBatch[n.Name] {
 				continue
 			}
 			inBatch[n.Name] = true
@@ -458,6 +584,71 @@ func (s *searcher) nextBatch() []design.Spec {
 		nbrs = append(nbrs, s.randomPick(rest, b-len(nbrs))...)
 	}
 	return nbrs
+}
+
+// promoted derives the full-fidelity promotion list from the completed
+// screening phase: the screening frontier's designs in name order,
+// followed by their screened feasible ladder neighbors in name order.
+// It is a pure function of the screened points, so a resumed search
+// recomputes the identical list.
+func (s *searcher) promoted() []design.Spec {
+	feasible := make(map[string]bool, len(s.screened))
+	for _, p := range s.screened {
+		if !p.Infeasible {
+			feasible[p.Design] = true
+		}
+	}
+	inSet := map[string]bool{}
+	var out []design.Spec
+	add := func(name string) {
+		if inSet[name] {
+			return
+		}
+		inSet[name] = true
+		out = append(out, s.space[s.spaceIdx[name]])
+	}
+	front := s.screenFront.sortedByName()
+	for _, p := range front {
+		add(p.Design)
+	}
+	var nbrNames []string
+	for _, p := range front {
+		spec := s.space[s.spaceIdx[p.Design]]
+		ns, err := spec.Info.Neighbors(spec, s.enumOpts)
+		if err != nil {
+			continue
+		}
+		for _, n := range ns {
+			if _, ok := s.spaceIdx[n.Name]; !ok {
+				continue
+			}
+			if feasible[n.Name] && !inSet[n.Name] {
+				nbrNames = append(nbrNames, n.Name)
+			}
+		}
+	}
+	sort.Strings(nbrNames)
+	for _, n := range nbrNames {
+		add(n)
+	}
+	return out
+}
+
+// nextPromoted walks the promotion list in order, skipping already
+// fully-evaluated designs. RNG-free: the full-fidelity phase of a
+// multi-fidelity search is entirely determined by the screening result.
+func (s *searcher) nextPromoted() []design.Spec {
+	var out []design.Spec
+	for _, c := range s.promoted() {
+		if s.seen[c.Name] {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == s.opts.BatchSize {
+			break
+		}
+	}
+	return out
 }
 
 // randomPick draws up to k distinct candidates from pool via the
@@ -481,41 +672,46 @@ func (s *searcher) randomPick(pool []design.Spec, k int) []design.Spec {
 // out through the parallel runner at once. A canceled context aborts the
 // whole round (nothing of it is recorded); a candidate whose runs fail
 // for any other reason becomes an infeasible point.
-func (s *searcher) evalBatch(ctx context.Context, batch []design.Spec) ([]Point, error) {
+func (s *searcher) evalBatch(ctx context.Context, batch []design.Spec, screen bool) ([]Point, error) {
+	runner, baseline := s.runner, s.baseline
+	if screen {
+		runner, baseline = s.screenRunner, s.screenBaseline
+	}
 	runs := make([]exp.RunSpec, 0, len(batch)*len(s.wls))
 	for _, c := range batch {
 		for _, wl := range s.wls {
 			runs = append(runs, exp.RunSpec{Workload: wl, Design: c.Name, Ratio16: s.opts.Ratio16})
 		}
 	}
-	res, _ := s.runner.ResultsParallelCtx(ctx, runs)
+	res, _ := runner.ResultsParallelCtx(ctx, runs)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	pts := make([]Point, len(batch))
 	for i, c := range batch {
-		pts[i] = s.score(c, res[i*len(s.wls):(i+1)*len(s.wls)])
+		pts[i] = s.score(c, res[i*len(s.wls):(i+1)*len(s.wls)], runner, baseline)
 	}
 	return pts, nil
 }
 
 // score folds one candidate's per-workload results into its objective
-// vector. A zero-cycle slot marks a failed run; its memoized error is
-// recalled (for free) to label the infeasible point.
-func (s *searcher) score(c design.Spec, res []sim.Result) Point {
+// vector, normalized to the baseline of the fidelity it ran at. A
+// zero-cycle slot marks a failed run; its memoized error is recalled
+// (for free) to label the infeasible point.
+func (s *searcher) score(c design.Spec, res []sim.Result, runner *exp.Runner, baseline []uint64) Point {
 	p := Point{Design: c.Name}
 	var logSpeedup, traffic float64
 	for i, r := range res {
 		if r.Cycles == 0 {
 			p.Infeasible = true
-			if _, err := s.runner.ResultErr(s.wls[i], c.Name, s.opts.Ratio16); err != nil {
+			if _, err := runner.ResultErr(s.wls[i], c.Name, s.opts.Ratio16); err != nil {
 				p.Err = err.Error()
 			} else {
 				p.Err = "zero-cycle run"
 			}
 			return p
 		}
-		logSpeedup += math.Log(float64(s.baseline[i]) / float64(r.Cycles))
+		logSpeedup += math.Log(float64(baseline[i]) / float64(r.Cycles))
 		traffic += float64(r.Mem.NMWriteBytes + r.Mem.FMWriteBytes)
 	}
 	n := float64(len(res))
@@ -541,13 +737,25 @@ func capacityMB(c design.Spec, ratio16 int) float64 {
 }
 
 // merge folds a completed round into the search state.
-func (s *searcher) merge(pts []Point) {
-	s.record(pts)
+func (s *searcher) merge(pts []Point, screen bool) {
+	s.record(pts, screen)
 	s.rounds++
 }
 
-// record folds evaluated points into the evaluation trail and frontier.
-func (s *searcher) record(pts []Point) {
+// record folds evaluated points into the evaluation trail and frontier
+// of the given phase.
+func (s *searcher) record(pts []Point, screen bool) {
+	if screen {
+		for _, p := range pts {
+			if s.screenSeen[p.Design] {
+				continue
+			}
+			s.screenSeen[p.Design] = true
+			s.screened = append(s.screened, p)
+			s.screenFront.add(p)
+		}
+		return
+	}
 	for _, p := range pts {
 		if s.seen[p.Design] {
 			continue
@@ -564,13 +772,15 @@ func (s *searcher) flush() error {
 		return nil
 	}
 	return saveCheckpoint(s.opts.Checkpoint, &checkpoint{
-		Version:        checkpointVersion,
-		Fingerprint:    s.fingerprint(),
-		RNG:            s.rng.state,
-		Rounds:         s.rounds,
-		SpaceSize:      len(s.space),
-		BaselineCycles: s.baseline,
-		Evaluated:      s.evald,
+		Version:              checkpointVersion,
+		Fingerprint:          s.fingerprint(),
+		RNG:                  s.rng.state,
+		Rounds:               s.rounds,
+		SpaceSize:            len(s.space),
+		BaselineCycles:       s.baseline,
+		ScreenBaselineCycles: s.screenBaseline,
+		Evaluated:            s.evald,
+		Screened:             s.screened,
 	})
 }
 
@@ -585,6 +795,7 @@ func (s *searcher) emit(done bool) {
 		Budget:       s.opts.Budget,
 		SpaceSize:    len(s.space),
 		FrontierSize: len(s.front.pts),
+		Screened:     len(s.screened),
 		Done:         done,
 	})
 }
@@ -594,6 +805,7 @@ func (s *searcher) result() Result {
 	return Result{
 		Frontier:  s.front.sorted(),
 		Evaluated: append([]Point(nil), s.evald...),
+		Screened:  append([]Point(nil), s.screened...),
 		SpaceSize: len(s.space),
 		Rounds:    s.rounds,
 		Resumed:   s.resumed,

@@ -281,6 +281,171 @@ func TestSearchOptionValidation(t *testing.T) {
 	}
 }
 
+// screenOpts is tinyOpts with multi-fidelity screening enabled: screen
+// at a tenth of the full fidelity, then promote into a small full budget.
+func screenOpts() Options {
+	o := tinyOpts()
+	o.ScreenInstrPerCore = 2_000
+	o.ScreenBudget = 12
+	o.Budget = 3
+	return o
+}
+
+// TestScreenedSearch pins the multi-fidelity contract: the screening
+// phase covers several times more candidates than a full-fidelity-only
+// search of comparable instruction cost, and every full evaluation is a
+// promoted (screened, feasible-frontier-adjacent) survivor.
+func TestScreenedSearch(t *testing.T) {
+	full := tinyOpts()
+	full.Budget = 4
+	fres, err := Search(context.Background(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-only: 4 evaluations at 20k instr = 80k simulated. The
+	// multi-fidelity search spends less — 12 screenings at 2k plus at
+	// most 4 full evaluations (budget 3, one round past) = 104k at the
+	// worst, 84k typical — yet simulates >=3x more distinct candidates.
+	sres, err := Search(context.Background(), screenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Screened) < 3*len(fres.Evaluated) {
+		t.Fatalf("screening covered %d candidates, full-only %d: less than 3x", len(sres.Screened), len(fres.Evaluated))
+	}
+	screened := map[string]bool{}
+	for _, p := range sres.Screened {
+		screened[p.Design] = true
+	}
+	if len(sres.Evaluated) == 0 {
+		t.Fatal("no candidates promoted to full fidelity")
+	}
+	for _, p := range sres.Evaluated {
+		if !screened[p.Design] {
+			t.Errorf("full evaluation of %s was never screened", p.Design)
+		}
+	}
+	// The search stops at the first round boundary at or past Budget.
+	if max := screenOpts().Budget + screenOpts().BatchSize - 1; len(sres.Evaluated) > max {
+		t.Errorf("full evaluations %d exceed Budget %d by more than a round", len(sres.Evaluated), screenOpts().Budget)
+	}
+	for _, p := range sres.Frontier {
+		if p.Infeasible {
+			t.Errorf("infeasible point %s on the frontier", p.Design)
+		}
+	}
+}
+
+// TestScreenedDeterministic pins that two identical multi-fidelity
+// searches produce byte-identical output, screened trail included.
+func TestScreenedDeterministic(t *testing.T) {
+	a, err := Search(context.Background(), screenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(context.Background(), screenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := resultJSON(t, a), resultJSON(t, b); string(ja) != string(jb) {
+		t.Fatalf("same seed, different screened results:\n%s\n----\n%s", ja, jb)
+	}
+	if len(a.Screened) == 0 {
+		t.Fatal("screened trail empty")
+	}
+}
+
+// TestScreenedResumeMatchesUninterrupted is the multi-fidelity
+// acceptance property: a screened search interrupted at any round
+// boundary — inside the screening phase or the promotion phase — and
+// resumed from its checkpoint yields byte-identical JSON to the same
+// search run uninterrupted.
+func TestScreenedResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+
+	want, err := Search(context.Background(), screenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRounds := want.Rounds
+
+	for k := 1; k < totalRounds; k++ {
+		ckPath := filepath.Join(dir, "split.json")
+		first := screenOpts()
+		first.MaxRounds = k
+		first.Checkpoint = ckPath
+		partial, err := Search(context.Background(), first)
+		if err != nil {
+			t.Fatalf("pause at round %d: %v", k, err)
+		}
+		if partial.Complete {
+			t.Fatalf("pause at round %d: search reports Complete", k)
+		}
+		second := screenOpts()
+		second.Checkpoint = ckPath
+		second.Resume = true
+		got, err := Search(context.Background(), second)
+		if err != nil {
+			t.Fatalf("resume from round %d: %v", k, err)
+		}
+		if jw, jg := resultJSON(t, want), resultJSON(t, got); string(jw) != string(jg) {
+			t.Fatalf("interrupt at round %d diverges from uninterrupted run:\nwant:\n%s\ngot:\n%s", k, jw, jg)
+		}
+		os.Remove(ckPath)
+	}
+}
+
+// TestScreenedFingerprintGuard pins that single- and multi-fidelity
+// checkpoints do not cross-resume: the screening fidelity is part of
+// the fingerprint when (and only when) screening is enabled.
+func TestScreenedFingerprintGuard(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "ck.json")
+	first := tinyOpts()
+	first.MaxRounds = 1
+	first.Checkpoint = ckPath
+	if _, err := Search(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	second := screenOpts()
+	second.Checkpoint = ckPath
+	second.Resume = true
+	if _, err := Search(context.Background(), second); err == nil {
+		t.Fatal("multi-fidelity resume accepted a single-fidelity checkpoint")
+	}
+
+	sck := filepath.Join(t.TempDir(), "sck.json")
+	sfirst := screenOpts()
+	sfirst.MaxRounds = 1
+	sfirst.Checkpoint = sck
+	if _, err := Search(context.Background(), sfirst); err != nil {
+		t.Fatal(err)
+	}
+	plain := tinyOpts()
+	plain.Checkpoint = sck
+	plain.Resume = true
+	if _, err := Search(context.Background(), plain); err == nil {
+		t.Fatal("single-fidelity resume accepted a multi-fidelity checkpoint")
+	}
+	// Defaulted and explicit ScreenBudget spellings are the same search.
+	sresume := screenOpts()
+	sresume.ScreenBudget = 0 // defaults to 4x Budget = 8, as screenOpts spells explicitly
+	sresume.Checkpoint = sck
+	sresume.Resume = true
+	if _, err := Search(context.Background(), sresume); err != nil {
+		t.Fatalf("default-spelled ScreenBudget refused an explicit-spelled checkpoint: %v", err)
+	}
+}
+
+// TestScreeningRequiresBudget pins the option validation: screening
+// with an exhaustive (unbounded) full budget is a configuration error.
+func TestScreeningRequiresBudget(t *testing.T) {
+	bad := screenOpts()
+	bad.Budget = 0
+	if _, err := Search(context.Background(), bad); err == nil {
+		t.Error("screening without a Budget accepted")
+	}
+}
+
 // TestFrontierDominance unit-tests the incremental Pareto update.
 func TestFrontierDominance(t *testing.T) {
 	var f frontier

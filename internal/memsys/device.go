@@ -9,7 +9,11 @@
 // without a per-cycle loop.
 package memsys
 
-import "hybridmem/internal/memtypes"
+import (
+	"math/bits"
+
+	"hybridmem/internal/memtypes"
+)
 
 // Config describes one DRAM device. All timing is expressed in CPU cycles
 // (3.2 GHz), converted from the device parameters of Table 1.
@@ -103,6 +107,19 @@ type Device struct {
 	cfg      Config
 	channels []channel
 
+	// Address-mapping fast path: every shipped config has power-of-two
+	// channel count, interleave granularity, row size and bank count, so
+	// the four divisions per access reduce to shifts and masks. pow2
+	// false falls back to the general divide (custom configs).
+	pow2     bool
+	ilvShift uint
+	chMask   uint64
+	rowShift uint
+	bankMask uint64
+	// burst64 memoizes the burst cycles of the dominant 64 B transfer,
+	// computed by the exact expression burst() would evaluate.
+	burst64 memtypes.Tick
+
 	// Traffic and energy accounting.
 	ReadBytes   uint64
 	WriteBytes  uint64
@@ -123,7 +140,38 @@ func New(cfg Config) *Device {
 			d.channels[i].banks[b].openRow = -1
 		}
 	}
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
+	if pow2(cfg.InterleaveBytes) && pow2(cfg.Channels) && pow2(cfg.RowBytes) && pow2(cfg.BanksPerChannel) {
+		d.pow2 = true
+		d.ilvShift = uint(bits.TrailingZeros(uint(cfg.InterleaveBytes)))
+		d.chMask = uint64(cfg.Channels - 1)
+		d.rowShift = uint(bits.TrailingZeros(uint(cfg.RowBytes)))
+		d.bankMask = uint64(cfg.BanksPerChannel - 1)
+	}
+	d.burst64 = memtypes.Tick(float64(64)/cfg.BytesPerCycle + 0.999)
 	return d
+}
+
+// locate resolves an address to its channel, bank and row.
+func (d *Device) locate(addr memtypes.Addr) (*channel, *bank, int64) {
+	a := uint64(addr)
+	if d.pow2 {
+		ch := &d.channels[(a>>d.ilvShift)&d.chMask]
+		row := int64(a >> d.rowShift)
+		return ch, &ch.banks[uint64(row)&d.bankMask], row
+	}
+	ch := &d.channels[(a/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
+	row := int64(a / uint64(d.cfg.RowBytes))
+	return ch, &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)], row
+}
+
+// burst returns the data-bus occupancy of a transfer, memoized for the
+// dominant 64 B size.
+func (d *Device) burst(bytes int) memtypes.Tick {
+	if bytes == 64 {
+		return d.burst64
+	}
+	return memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
 }
 
 // Config returns the device configuration.
@@ -157,9 +205,7 @@ func (d *Device) Access(now memtypes.Tick, addr memtypes.Addr, bytes int, write 
 	if bytes <= 0 {
 		return now
 	}
-	ch := &d.channels[(uint64(addr)/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
-	row := int64(uint64(addr) / uint64(d.cfg.RowBytes))
-	bk := &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)]
+	ch, bk, row := d.locate(addr)
 	d.applyRefresh(bk, now)
 
 	start := now
@@ -178,7 +224,7 @@ func (d *Device) Access(now memtypes.Tick, addr memtypes.Addr, bytes int, write 
 		bk.openRow = row
 		d.Activations++
 	}
-	burst := memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
+	burst := d.burst(bytes)
 	done := start + access + burst
 
 	// The data bus is occupied for the burst; command/CAS phases of
@@ -207,9 +253,7 @@ func (d *Device) AccessBG(now memtypes.Tick, addr memtypes.Addr, bytes int, writ
 	if bytes <= 0 {
 		return now
 	}
-	ch := &d.channels[(uint64(addr)/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
-	row := int64(uint64(addr) / uint64(d.cfg.RowBytes))
-	bk := &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)]
+	ch, bk, row := d.locate(addr)
 	d.applyRefresh(bk, now)
 
 	start := now
@@ -230,7 +274,7 @@ func (d *Device) AccessBG(now memtypes.Tick, addr memtypes.Addr, bytes int, writ
 		bk.openRow = row
 		d.Activations++
 	}
-	burst := memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
+	burst := d.burst(bytes)
 	done := start + access + burst
 	ch.bgFreeAt = start + burst
 	bk.freeAt = done
@@ -257,9 +301,7 @@ func (d *Device) AccessCriticalFirst(now memtypes.Tick, addr memtypes.Addr, byte
 	if critical <= 0 || critical > bytes {
 		critical = bytes
 	}
-	ch := &d.channels[(uint64(addr)/uint64(d.cfg.InterleaveBytes))%uint64(d.cfg.Channels)]
-	row := int64(uint64(addr) / uint64(d.cfg.RowBytes))
-	bk := &ch.banks[uint64(row)%uint64(d.cfg.BanksPerChannel)]
+	ch, bk, row := d.locate(addr)
 	d.applyRefresh(bk, now)
 
 	start := now
@@ -277,8 +319,8 @@ func (d *Device) AccessCriticalFirst(now memtypes.Tick, addr memtypes.Addr, byte
 		bk.openRow = row
 		d.Activations++
 	}
-	critBurst := memtypes.Tick(float64(critical)/d.cfg.BytesPerCycle + 0.999)
-	fullBurst := memtypes.Tick(float64(bytes)/d.cfg.BytesPerCycle + 0.999)
+	critBurst := d.burst(critical)
+	fullBurst := d.burst(bytes)
 	criticalDone = start + access + critBurst
 	done = start + access + fullBurst
 

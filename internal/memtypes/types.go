@@ -14,6 +14,16 @@ type Tick uint64
 // last-level-cache line.
 const CPULineBytes = 64
 
+// Rec is one trace record as the simulation loop consumes it: Gap
+// non-memory instructions followed by one 64 B access at Addr. Batch
+// record transfers (sim.BatchSource) move slices of Rec so the decoder
+// or generator amortizes its per-record work across a whole batch.
+type Rec struct {
+	Gap   uint64
+	Addr  Addr
+	Write bool
+}
+
 // MemorySystem is the interface every memory organization under study
 // implements: the flat baseline, the DRAM caches, the migration schemes,
 // and Hybrid2 itself. The simulation driver issues one call per LLC miss

@@ -4,8 +4,11 @@
 package sim
 
 import (
+	"hybridmem/internal/baselines/dramcache"
+	"hybridmem/internal/baselines/flat"
 	"hybridmem/internal/cachesim"
 	"hybridmem/internal/config"
+	hybrid "hybridmem/internal/core"
 	"hybridmem/internal/cpu"
 	"hybridmem/internal/memsys"
 	"hybridmem/internal/memtypes"
@@ -56,6 +59,22 @@ type Source interface {
 	Next() (gap uint64, addr memtypes.Addr, write bool, ok bool)
 }
 
+// BatchSource is the optional bulk fast path of a Source: NextBatch fills
+// dst with up to len(dst) records and returns the count, 0 meaning the
+// source is exhausted. A short (but non-zero) count is not end-of-stream.
+// The records must be exactly the ones the same number of Next calls
+// would have produced; the driver uses it to amortize per-record decode
+// and generation overhead. Sources whose record values depend on when
+// other cores consume records must not implement it.
+type BatchSource interface {
+	NextBatch(dst []memtypes.Rec) int
+}
+
+// batchLen is the per-core record buffer of the run loop: large enough to
+// amortize batched decode, small enough (1.5 KB per core) to stay cache
+// resident.
+const batchLen = 64
+
 // MLPFor derives the effective memory-level parallelism from a workload's
 // spatial behaviour: streaming workloads keep many independent misses in
 // flight, pointer-chasing ones serialize on dependent loads. Trace
@@ -83,52 +102,178 @@ func Run(spec workload.Spec, ms memtypes.MemorySystem, nm, fm *memsys.Device, sy
 	return RunSources(spec.Name, srcs, MLPFor(spec), ms, nm, fm, sys)
 }
 
+// The devirtualization wrappers below give the registry's main designs a
+// concrete-typed run loop. A generic instantiated directly on the pointer
+// types would not do it: Go's gcshape stenciling buckets all pointer type
+// arguments into one dictionary-based instantiation, leaving ms.Access an
+// indirect call. A one-field struct wrapper per design is its own gcshape,
+// so runLoop stencils per design and the inner Access/Finish calls bind
+// (and inline) statically.
+
+type hybridMS struct{ m *hybrid.Hybrid2 }
+
+func (a hybridMS) Name() string { return a.m.Name() }
+func (a hybridMS) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	return a.m.Access(now, addr, write)
+}
+func (a hybridMS) Finish(now memtypes.Tick)  { a.m.Finish(now) }
+func (a hybridMS) Stats() *memtypes.MemStats { return a.m.Stats() }
+
+type dramCacheMS struct{ m *dramcache.Cache }
+
+func (a dramCacheMS) Name() string { return a.m.Name() }
+func (a dramCacheMS) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	return a.m.Access(now, addr, write)
+}
+func (a dramCacheMS) Finish(now memtypes.Tick)  { a.m.Finish(now) }
+func (a dramCacheMS) Stats() *memtypes.MemStats { return a.m.Stats() }
+
+type fmOnlyMS struct{ m *flat.FMOnly }
+
+func (a fmOnlyMS) Name() string { return a.m.Name() }
+func (a fmOnlyMS) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	return a.m.Access(now, addr, write)
+}
+func (a fmOnlyMS) Finish(now memtypes.Tick)  { a.m.Finish(now) }
+func (a fmOnlyMS) Stats() *memtypes.MemStats { return a.m.Stats() }
+
+type nmOnlyMS struct{ m *flat.NMOnly }
+
+func (a nmOnlyMS) Name() string { return a.m.Name() }
+func (a nmOnlyMS) Access(now memtypes.Tick, addr memtypes.Addr, write bool) memtypes.Tick {
+	return a.m.Access(now, addr, write)
+}
+func (a nmOnlyMS) Finish(now memtypes.Tick)  { a.m.Finish(now) }
+func (a nmOnlyMS) Stats() *memtypes.MemStats { return a.m.Stats() }
+
 // RunSources executes one explicit trace source per core — the entry
 // point for replaying captured traces. mlp bounds each core's overlapped
 // misses.
 func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System) Result {
+	switch m := ms.(type) {
+	case *hybrid.Hybrid2:
+		return runLoop(name, srcs, mlp, hybridMS{m}, nm, fm, sys)
+	case *dramcache.Cache:
+		return runLoop(name, srcs, mlp, dramCacheMS{m}, nm, fm, sys)
+	case *flat.FMOnly:
+		return runLoop(name, srcs, mlp, fmOnlyMS{m}, nm, fm, sys)
+	case *flat.NMOnly:
+		return runLoop(name, srcs, mlp, nmOnlyMS{m}, nm, fm, sys)
+	}
+	return runLoop[memtypes.MemorySystem](name, srcs, mlp, ms, nm, fm, sys)
+}
+
+// coreState is one core's slot in the run loop: its source, the batch
+// fast path if the source has one, and the refillable record buffer.
+type coreState struct {
+	src  Source
+	bsrc BatchSource
+	buf  []memtypes.Rec
+	head int
+	n    int
+}
+
+// lessCore orders heap entries by (core time, core index): exactly the
+// core the old linear scan selected — the lowest-indexed core among those
+// with the minimum time.
+func lessCore(cores []*cpu.Core, a, b int32) bool {
+	ta, tb := cores[a].Time, cores[b].Time
+	return ta < tb || (ta == tb && a < b)
+}
+
+// siftDown restores the min-heap property from slot i after the entry
+// there grew (the selected core advanced) or was replaced (a pop).
+func siftDown(h []int32, i int, cores []*cpu.Core) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && lessCore(cores, h[r], h[l]) {
+			m = r
+		}
+		if !lessCore(cores, h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// runLoop is the per-record simulation loop, generic so the type switch
+// in RunSources stencils a concrete-typed copy per main design. The
+// scheduler is an index min-heap keyed on (core time, index), replacing
+// the O(cores) scan per record; selection order is bit-identical to the
+// scan because both pick the lexicographic minimum, and only the selected
+// core's time ever changes. The steady state allocates nothing: record
+// buffers, heap and core state are preallocated, and the histogram is a
+// fixed array.
+func runLoop[MS memtypes.MemorySystem](name string, srcs []Source, mlp int, ms MS, nm, fm *memsys.Device, sys config.System) Result {
 	llc := cachesim.New(sys.LLCBytes, config.LLCAssoc, memtypes.CPULineBytes)
 	var lat stats.Histogram
 
 	n := len(srcs)
 	cores := make([]*cpu.Core, n)
-	streams := srcs
-	active := n
-	done := make([]bool, n)
+	st := make([]coreState, n)
+	bufs := make([]memtypes.Rec, n*batchLen)
+	heap := make([]int32, n)
 	for i := range cores {
 		cores[i] = cpu.New(config.IssueWidth, mlp)
+		st[i] = coreState{src: srcs[i], buf: bufs[i*batchLen : (i+1)*batchLen]}
+		if bs, ok := srcs[i].(BatchSource); ok {
+			st[i].bsrc = bs
+		}
+		heap[i] = int32(i)
 	}
+	// The initial heap [0..n-1] is valid: all times are zero and parents
+	// have smaller indices than their children.
 
-	for active > 0 {
+	for len(heap) > 0 {
 		// Advance the earliest core: keeps memory-system calls in
 		// near-time order so device contention is modeled consistently.
-		sel := -1
-		for i, c := range cores {
-			if done[i] {
+		sel := heap[0]
+		cs := &st[sel]
+		c := cores[sel]
+		if cs.head == cs.n {
+			if cs.bsrc != nil {
+				cs.n = cs.bsrc.NextBatch(cs.buf)
+			} else {
+				// Plain sources are pulled one record per selection, so
+				// implementations sensitive to interleaving see the same
+				// call schedule as the old loop.
+				gap, addr, write, ok := cs.src.Next()
+				cs.n = 0
+				if ok {
+					cs.buf[0] = memtypes.Rec{Gap: gap, Addr: addr, Write: write}
+					cs.n = 1
+				}
+			}
+			cs.head = 0
+			if cs.n == 0 {
+				c.DrainMisses()
+				last := len(heap) - 1
+				heap[0] = heap[last]
+				heap = heap[:last]
+				if len(heap) > 1 {
+					siftDown(heap, 0, cores)
+				}
 				continue
 			}
-			if sel < 0 || c.Time < cores[sel].Time {
-				sel = i
-			}
 		}
-		c := cores[sel]
-		gap, addr, write, ok := streams[sel].Next()
-		if !ok {
-			c.DrainMisses()
-			done[sel] = true
-			active--
-			continue
-		}
-		c.AdvanceCompute(gap)
+		r := cs.buf[cs.head]
+		cs.head++
+
+		c.AdvanceCompute(r.Gap)
 		c.RetireMemOp()
 		c.AddLatency(config.LLCLatency)
-		hit, victim, evicted := llc.Access(addr, write)
+		hit, victim, evicted := llc.Access(r.Addr, r.Write)
 		if !hit {
 			// Write-allocate: the fill is a read either way. Loads stall
 			// the core through the MSHRs; stores retire through the
 			// write buffer, which applies backpressure when full.
-			fill := ms.Access(c.Time, addr, false)
-			if write {
+			fill := ms.Access(c.Time, r.Addr, false)
+			if r.Write {
 				c.StallForWrite(fill)
 			} else {
 				lat.Add(uint64(fill - c.Time))
@@ -141,13 +286,16 @@ func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, n
 		if !hit && sys.NextLinePrefetch {
 			// Next-line prefetch: fill addr+64 if absent; the fill does
 			// not stall the core, and its dirty victim writes back.
-			next := addr + memtypes.CPULineBytes
+			next := r.Addr + memtypes.CPULineBytes
 			if pHit, pVictim, pEvicted := llc.Access(next, false); !pHit {
 				ms.Access(c.Time, next, false)
 				if pEvicted && pVictim.Dirty {
 					ms.Access(c.Time, pVictim.Addr, true)
 				}
 			}
+		}
+		if len(heap) > 1 {
+			siftDown(heap, 0, cores)
 		}
 	}
 

@@ -1,5 +1,7 @@
 package stats
 
+import "math/bits"
+
 // Histogram is a log2-bucketed histogram of non-negative integer samples
 // (latencies in cycles or microseconds): bucket i holds values in
 // [2^i, 2^(i+1)), bucket 0 also holds 0, and the top bucket absorbs
@@ -19,8 +21,13 @@ func (h *Histogram) Add(v uint64) {
 	h.count++
 	h.sum += v
 	b := 0
-	for x := v; x > 1 && b < len(h.buckets)-1; x >>= 1 {
-		b++
+	if v > 1 {
+		// floor(log2 v), capped at the top bucket — same bucket the old
+		// shift loop picked, without the per-sample loop.
+		b = bits.Len64(v) - 1
+		if b > len(h.buckets)-1 {
+			b = len(h.buckets) - 1
+		}
 	}
 	h.buckets[b]++
 }

@@ -7,8 +7,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"hybridmem/internal/memtypes"
 )
@@ -168,8 +166,8 @@ func (d *Decoder) decodeText() (int, Record, error) {
 			return 0, Record{}, io.EOF
 		}
 		d.line++
-		s := strings.TrimSpace(string(line))
-		if s == "" || strings.HasPrefix(s, "#") {
+		s := trimSpaceBytes(line)
+		if len(s) == 0 || s[0] == '#' {
 			if err == io.EOF {
 				return 0, Record{}, io.EOF
 			}
@@ -184,33 +182,148 @@ func (d *Decoder) decodeText() (int, Record, error) {
 	}
 }
 
-func (d *Decoder) parseLine(s string) (int, Record, error) {
-	f := strings.Fields(s)
-	if len(f) != 4 {
-		return 0, Record{}, errorf("line %d: want 4 fields, got %d", d.line, len(f))
+// parseLine parses one non-comment trace line in place. It works on the
+// bufio-owned byte slice without converting to string, so steady-state
+// text decoding is allocation-free.
+func (d *Decoder) parseLine(s []byte) (int, Record, error) {
+	var f [4][]byte
+	nf := 0
+	for rest := s; ; {
+		field, r := nextField(rest)
+		if len(field) == 0 {
+			break
+		}
+		if nf == len(f) {
+			return 0, Record{}, errorf("line %d: want 4 fields, got %d", d.line, countFields(s))
+		}
+		f[nf] = field
+		nf++
+		rest = r
 	}
-	core, err := strconv.Atoi(f[0])
-	if err != nil || core < 0 || core >= d.maxCores {
+	if nf != 4 {
+		return 0, Record{}, errorf("line %d: want 4 fields, got %d", d.line, nf)
+	}
+	cv, ok := parseDecimal(trimPlus(f[0]))
+	if !ok || cv >= uint64(d.maxCores) {
 		return 0, Record{}, errorf("line %d: bad core %q", d.line, f[0])
 	}
-	gap, err := strconv.ParseUint(f[1], 10, 64)
-	if err != nil {
+	core := int(cv)
+	gap, ok := parseDecimal(f[1])
+	if !ok {
 		return 0, Record{}, errorf("line %d: bad gap %q", d.line, f[1])
 	}
-	addr, err := strconv.ParseUint(strings.TrimPrefix(f[2], "0x"), 16, 64)
-	if err != nil {
+	addr, ok := parseHex(f[2])
+	if !ok {
 		return 0, Record{}, errorf("line %d: bad address %q", d.line, f[2])
 	}
 	var write bool
-	switch f[3] {
-	case "R", "r":
+	if len(f[3]) != 1 {
+		return 0, Record{}, errorf("line %d: bad access type %q", d.line, f[3])
+	}
+	switch f[3][0] {
+	case 'R', 'r':
 		write = false
-	case "W", "w":
+	case 'W', 'w':
 		write = true
 	default:
 		return 0, Record{}, errorf("line %d: bad access type %q", d.line, f[3])
 	}
 	return core, Record{Gap: gap, Addr: memtypes.Addr(addr), Write: write}, nil
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+func trimSpaceBytes(s []byte) []byte {
+	for len(s) > 0 && isSpaceByte(s[0]) {
+		s = s[1:]
+	}
+	for len(s) > 0 && isSpaceByte(s[len(s)-1]) {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// nextField skips leading spaces and returns the next space-delimited
+// field and the remainder of s after it.
+func nextField(s []byte) (field, rest []byte) {
+	i := 0
+	for i < len(s) && isSpaceByte(s[i]) {
+		i++
+	}
+	j := i
+	for j < len(s) && !isSpaceByte(s[j]) {
+		j++
+	}
+	return s[i:j], s[j:]
+}
+
+func countFields(s []byte) int {
+	n := 0
+	for {
+		var field []byte
+		field, s = nextField(s)
+		if len(field) == 0 {
+			return n
+		}
+		n++
+	}
+}
+
+// trimPlus drops one leading '+' so the core field accepts the same
+// explicitly-signed spellings strconv.Atoi did.
+func trimPlus(b []byte) []byte {
+	if len(b) > 1 && b[0] == '+' {
+		return b[1:]
+	}
+	return b
+}
+
+func parseDecimal(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+func parseHex(b []byte) (uint64, bool) {
+	if len(b) >= 2 && b[0] == '0' && b[1] == 'x' {
+		b = b[2:]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		if v > ^uint64(0)>>4 {
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
 }
 
 // StreamWriter encodes records one at a time, so producers (tracegen,
@@ -439,4 +552,40 @@ func (cs *CoreStream) Next() (gap uint64, addr memtypes.Addr, write bool, ok boo
 		sr.heads[cs.core] = 0
 	}
 	return r.Gap, r.Addr, r.Write, true
+}
+
+// NextBatch implements sim.BatchSource: it pops up to len(dst) of core's
+// records in one call. Like Next it pumps the shared decoder only until
+// at least one record is buffered, then drains what is already queued —
+// record values, ordering, and error behavior match repeated Next calls.
+func (cs *CoreStream) NextBatch(dst []memtypes.Rec) int {
+	sr := cs.sr
+	if sr.err != nil || len(dst) == 0 {
+		return 0
+	}
+	for sr.queued(cs.core) == 0 {
+		if sr.eof {
+			return 0
+		}
+		sr.pump()
+		if sr.err != nil {
+			return 0
+		}
+	}
+	q := sr.queues[cs.core]
+	h := sr.heads[cs.core]
+	n := len(q) - h
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		r := q[h+i]
+		dst[i] = memtypes.Rec{Gap: r.Gap, Addr: r.Addr, Write: r.Write}
+	}
+	sr.heads[cs.core] = h + n
+	if sr.heads[cs.core] == len(q) {
+		sr.queues[cs.core] = q[:0]
+		sr.heads[cs.core] = 0
+	}
+	return n
 }

@@ -1,6 +1,10 @@
 package workload
 
-import "hybridmem/internal/memtypes"
+import (
+	"math"
+
+	"hybridmem/internal/memtypes"
+)
 
 // GiB is one binary gigabyte.
 const GiB = 1 << 30
@@ -27,6 +31,25 @@ type Stream struct {
 	phaseLen  int64  // instructions per phase
 	phaseLeft int64
 	phase     int
+
+	// Integer thresholds equivalent to the spec's float probabilities:
+	// randN(1<<20) < thresh  ⟺  float64(randN(1<<20))/(1<<20) < p.
+	// Scaling by a power of two is exact in float64, so the hot loop can
+	// compare integers without changing a single draw.
+	hotThresh   uint64
+	runThresh   uint64
+	writeThresh uint64
+}
+
+// thresh20 returns the integer t making "x < t" (for x in [0,1<<20))
+// equivalent to "float64(x)/(1<<20) < p": both sides of the float compare
+// scale exactly by 2^20, so t = ceil(p * 2^20).
+func thresh20(p float64) uint64 {
+	t := math.Ceil(p * (1 << 20))
+	if t <= 0 {
+		return 0
+	}
+	return uint64(t)
 }
 
 // NewStream builds the trace stream for one core of an 8-core run.
@@ -79,6 +102,13 @@ func NewStream(spec Spec, core, scale int, instrBudget uint64, seed uint64) *Str
 		s.phaseLen = int64(instrBudget)
 	}
 	s.phaseLeft = s.phaseLen
+	s.hotThresh = thresh20(spec.HotProb)
+	mean := spec.SeqRun
+	if mean < 1 {
+		mean = 1
+	}
+	s.runThresh = thresh20(1 - 1/mean)
+	s.writeThresh = thresh20(spec.WriteFrac)
 	s.placeHot()
 	s.newRun()
 	return s
@@ -121,7 +151,7 @@ func (s *Stream) newRun() {
 	// the full hot set) — real workloads exhibit steep Zipf-like reuse
 	// skew, not uniform hot-set access, and the evaluated policies (small
 	// staging caches in particular) depend on it.
-	if s.spec.HotProb > 0 && float64(s.randN(1<<20))/(1<<20) < s.spec.HotProb {
+	if s.spec.HotProb > 0 && s.randN(1<<20) < s.hotThresh {
 		span := s.hotLen
 		switch s.randN(4) {
 		case 0:
@@ -137,12 +167,8 @@ func (s *Stream) newRun() {
 		s.cur = s.randN(s.regionLen/lineBytes) * lineBytes
 	}
 	// Geometric run length with mean SeqRun.
-	mean := s.spec.SeqRun
-	if mean < 1 {
-		mean = 1
-	}
 	run := 1
-	for float64(s.randN(1<<20))/(1<<20) < 1-1/mean && run < 1024 {
+	for s.randN(1<<20) < s.runThresh && run < 1024 {
 		run++
 	}
 	s.runLeft = run
@@ -175,8 +201,24 @@ func (s *Stream) Next() (gap uint64, addr memtypes.Addr, write bool, ok bool) {
 	if s.cur >= s.regionLen {
 		s.cur = 0
 	}
-	write = float64(s.randN(1<<20))/(1<<20) < s.spec.WriteFrac
+	write = s.randN(1<<20) < s.writeThresh
 	return gap, addr, write, true
+}
+
+// NextBatch fills dst with up to len(dst) records and returns how many it
+// produced. A short count means the instruction budget ran out. Draw order
+// is identical to repeated Next calls.
+func (s *Stream) NextBatch(dst []memtypes.Rec) int {
+	n := 0
+	for n < len(dst) {
+		gap, addr, write, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst[n] = memtypes.Rec{Gap: gap, Addr: addr, Write: write}
+		n++
+	}
+	return n
 }
 
 // Footprint returns the total bytes this stream can touch (its region).
