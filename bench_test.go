@@ -6,8 +6,11 @@
 package hybridmem
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"hybridmem/internal/cluster"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/workload"
 )
@@ -160,6 +163,42 @@ func benchmarkFig2Sweep(b *testing.B, parallelism int) {
 // wall-clock times measures the parallel engine's speedup.
 func BenchmarkSweepSerial(b *testing.B)   { benchmarkFig2Sweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchmarkFig2Sweep(b, 0) }
+
+// BenchmarkDistributedSweep pushes the same multi-design sweep through
+// the distributed execution plane in loopback mode — sharding, bounded
+// in-flight dispatch, work-stealing and index-ordered merge, minus the
+// network — with one single-threaded runner versus four. Comparing the
+// two subbenchmarks measures the plane's scaling on multi-core hosts;
+// on a single CPU they degenerate to the same wall clock plus dispatch
+// overhead. The per-iteration seed defeats result memoization.
+func BenchmarkDistributedSweep(b *testing.B) {
+	designs := []string{"Baseline", "MPOD", "DFC-256", "HYBRID2"}
+	workloads := []string{"cg.D", "lbm", "bwaves", "xz", "fotonik3d", "namd"}
+	var runs []cluster.Run
+	for _, d := range designs {
+		for _, w := range workloads {
+			runs = append(runs, cluster.Run{Design: d, Workload: w, Ratio16: 1})
+		}
+	}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("runners=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := cluster.NewCoordinator(cluster.CoordinatorOptions{ShardSize: 2, MaxInFlight: 1})
+				c.AttachLoopback(n, 1)
+				cfg := cluster.Config{Scale: 16, InstrPerCore: 60_000, Seed: uint64(i + 1)}
+				outs, err := c.Run(context.Background(), cfg, runs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					if o.Err != "" {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkRunAllParallel exercises the public sweep API end to end.
 func BenchmarkRunAllParallel(b *testing.B) {

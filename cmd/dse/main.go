@@ -10,6 +10,7 @@
 //	dse -checkpoint s.json                # resumable: state saved per batch
 //	dse -checkpoint s.json -resume        # continue an interrupted search
 //	dse -screen 20000 -budget 16          # multi-fidelity: screen cheap, promote survivors
+//	dse -runners 4                        # evaluate through the distributed plane (loopback)
 //	dse -json                             # machine-readable result
 //
 // The search is deterministic for a given flag set and -seed: interrupt
@@ -49,6 +50,7 @@ func run() int {
 	instr := flag.Uint64("instr", 200_000, "instructions per core per run")
 	ratio := flag.Int("ratio", 1, "NM:FM capacity ratio in sixteenths (1, 2 or 4 in the paper)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "simulation runs evaluated concurrently")
+	runners := flag.Int("runners", 0, "evaluate through the distributed execution plane with N in-process runners (0: direct local evaluation; results are identical either way)")
 	maxvals := flag.Int("maxvals", 12, "max enumerated values per integer parameter")
 	ubound := flag.Int("ubound", 0, "upper bound substituted for parameters declared unbounded above (0: refuse to enumerate them)")
 	maxBatches := flag.Int("maxbatches", 0, "pause after this many batches (0: run to completion); combine with -checkpoint to time-slice a search")
@@ -101,6 +103,7 @@ func run() int {
 		ScreenInstrPerCore: *screen,
 		ScreenBudget:       *screenBudget,
 		Parallelism:        *parallel,
+		LoopbackRunners:    *runners,
 		MaxPerParam:        *maxvals,
 		UnboundedMax:       *ubound,
 		MaxBatches:         *maxBatches,

@@ -9,11 +9,22 @@
 //	hybridmemd -addr 127.0.0.1:9090
 //	hybridmemd -state /var/lib/hybridmem  # persist jobs, results, checkpoints
 //
+//	hybridmemd -coordinator               # accept runner nodes, shard jobs
+//	hybridmemd -runner -join http://coordinator:8080
+//
 // Endpoints (see internal/serve and the README's Serving section):
 //
 //	GET  /healthz   GET /metrics   GET /v1/designs   GET /v1/workloads
 //	POST /v1/run    POST /v1/sweep POST /v1/explore  POST /v1/replay
-//	GET  /v1/jobs/{id}[/events|/result]
+//	POST /cluster/v1/join  POST /cluster/v1/heartbeat   (coordinator mode)
+//
+// In -coordinator mode, sweep and exploration jobs are sharded across
+// joined runner nodes with bounded in-flight work per runner,
+// work-stealing of straggler shards, and re-dispatch on node loss;
+// results are byte-identical to local execution (see internal/cluster).
+// With no runners joined, the coordinator executes locally. In -runner
+// mode the process serves shard RPCs and /healthz only, joining (and
+// rejoining) the coordinator given by -join.
 //
 // SIGTERM or SIGINT drains gracefully: health flips to 503, new jobs are
 // rejected, and in-flight work gets -drain to finish (interrupted
@@ -35,7 +46,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "TCP listen address")
+	addr := flag.String("addr", "", "TCP listen address (default :8080 for servers, 127.0.0.1:0 for runners)")
 	state := flag.String("state", "", "state directory for job specs, results and exploration checkpoints (empty: in-memory only)")
 	cacheEntries := flag.Int("cache-entries", 1024, "result-cache entry bound")
 	cacheMB := flag.Int64("cache-mb", 64, "result-cache byte bound, in MB")
@@ -44,11 +55,30 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulations evaluated concurrently per job (0: all CPUs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
+
+	coordinator := flag.Bool("coordinator", false, "act as a cluster coordinator: shard sweep/exploration jobs across joined runner nodes")
+	runner := flag.Bool("runner", false, "act as a cluster runner node: execute shards dispatched by the coordinator at -join")
+	join := flag.String("join", "", "coordinator base URL a runner joins (e.g. http://host:8080); required with -runner")
+	advertise := flag.String("advertise", "", "URL base the coordinator dials this runner back on (default http://<listen address>)")
+	runnerID := flag.String("runner-id", "", "runner name reported to the coordinator (default derived from the listen address)")
+	loopback := flag.Int("loopback-runners", 0, "attach N in-process runners to the coordinator (no-network distributed mode; implies -coordinator)")
+	shardSize := flag.Int("shard-size", 0, "runs per dispatched shard (0: 8)")
+	shardInFlight := flag.Int("shard-inflight", 0, "concurrently dispatched shards per runner (0: 2)")
+	heartbeatTimeout := flag.Duration("heartbeat-timeout", 0, "drop runners whose heartbeat lapsed this long (0: 10s)")
+	rpcTimeout := flag.Duration("rpc-timeout", 0, "shard RPC deadline (0: 5m)")
 	flag.Parse()
 
 	logf := log.New(os.Stderr, "hybridmemd: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	if *runner && (*coordinator || *loopback > 0) {
+		fmt.Fprintln(os.Stderr, "hybridmemd: -runner is exclusive with -coordinator/-loopback-runners")
+		os.Exit(2)
+	}
+	if *runner && *join == "" {
+		fmt.Fprintln(os.Stderr, "hybridmemd: -runner needs -join <coordinator URL>")
+		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -61,18 +91,41 @@ func main() {
 		stop()
 	}()
 
-	err := hybridmem.Serve(ctx, hybridmem.ServeOptions{
-		Addr:         *addr,
-		StateDir:     *state,
-		CacheEntries: *cacheEntries,
-		CacheBytes:   *cacheMB << 20,
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		Parallelism:  *parallel,
-		DrainTimeout: *drain,
-		Logf:         logf,
-		OnListen:     func(addr string) { logf("listening on %s", addr) },
-	})
+	var err error
+	if *runner {
+		err = hybridmem.ServeRunner(ctx, hybridmem.RunnerOptions{
+			Addr:        *addr,
+			Join:        *join,
+			Advertise:   *advertise,
+			ID:          *runnerID,
+			Parallelism: *parallel,
+			Logf:        logf,
+			OnListen:    func(addr string) { logf("runner listening on %s", addr) },
+		})
+	} else {
+		listen := *addr
+		if listen == "" {
+			listen = ":8080"
+		}
+		err = hybridmem.Serve(ctx, hybridmem.ServeOptions{
+			Addr:                    listen,
+			StateDir:                *state,
+			CacheEntries:            *cacheEntries,
+			CacheBytes:              *cacheMB << 20,
+			QueueDepth:              *queue,
+			Workers:                 *workers,
+			Parallelism:             *parallel,
+			DrainTimeout:            *drain,
+			Logf:                    logf,
+			OnListen:                func(addr string) { logf("listening on %s", addr) },
+			Coordinator:             *coordinator,
+			ClusterLoopbackRunners:  *loopback,
+			ClusterShardSize:        *shardSize,
+			ClusterMaxInFlight:      *shardInFlight,
+			ClusterHeartbeatTimeout: *heartbeatTimeout,
+			ClusterRPCTimeout:       *rpcTimeout,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridmemd:", err)
 		os.Exit(1)

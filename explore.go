@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hybridmem/internal/api"
+	"hybridmem/internal/cluster"
 	"hybridmem/internal/dse"
 )
 
@@ -49,6 +50,14 @@ type ExploreOptions struct {
 	// Parallelism bounds concurrently evaluated runs; <= 0 means
 	// GOMAXPROCS. It does not affect results.
 	Parallelism int
+	// LoopbackRunners, when positive, evaluates candidates through the
+	// distributed execution plane with that many in-process runners:
+	// batches are sharded, dispatched with bounded in-flight per runner,
+	// and work-stolen exactly as across real cluster nodes (see
+	// internal/cluster), while all search state stays local. It does not
+	// affect results — a distributed exploration is byte-identical to a
+	// single-process one.
+	LoopbackRunners int
 	// MaxPerParam caps the candidate values enumerated per integer
 	// parameter (wide ranges subsample on a geometric ladder); <= 0
 	// means 12.
@@ -189,6 +198,14 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 			})
 		}
 	}
+	var eval dse.Evaluator
+	if opts.LoopbackRunners > 0 {
+		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
+			LocalParallelism: opts.Parallelism,
+		})
+		coord.AttachLoopback(opts.LoopbackRunners, opts.Parallelism)
+		eval = coord.Evaluator()
+	}
 	res, err := dse.Search(ctx, dse.Options{
 		Families:           opts.Families,
 		Workloads:          opts.Workloads,
@@ -208,6 +225,7 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 		Checkpoint:         opts.Checkpoint,
 		Resume:             opts.Resume,
 		Progress:           progress,
+		Eval:               eval,
 	})
 	out := ExploreResult{
 		Frontier:  fromPoints(res.Frontier),

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hybridmem/internal/dse"
+)
+
+// transport executes one shard RPC against a runner — HTTP for real
+// nodes, a direct call for loopback runners and the local fallback.
+type transport interface {
+	runShard(ctx context.Context, req ShardRequest) (ShardResponse, error)
+}
+
+// runnerHandle is the coordinator's view of one registered runner.
+type runnerHandle struct {
+	id        string
+	addr      string
+	transport transport
+	loopback  bool // exempt from heartbeat expiry
+	local     bool // the coordinator's own fallback executor
+
+	// Guarded by the coordinator's mu.
+	lastBeat   time.Time
+	dead       bool
+	inFlight   int
+	dispatched uint64
+}
+
+// Coordinator owns the runner pool and dispatches shard work across it.
+// It is safe for concurrent use: runners join and leave while batches
+// run, and multiple Run calls may be in flight at once (each batch has
+// its own dispatcher; the pool and its worker accounting are shared).
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu      sync.Mutex
+	runners map[string]*runnerHandle
+	active  []*dispatcher // batches currently dispatching
+
+	stats Stats
+}
+
+// Stats is a snapshot of the coordinator's dispatch counters, surfaced
+// on /metrics.
+type Stats struct {
+	// RunnersLive counts currently registered, non-expired runners.
+	RunnersLive int
+	// RunnersJoined and RunnersDropped count registrations and
+	// liveness/failure expulsions over the coordinator's lifetime.
+	RunnersJoined  uint64
+	RunnersDropped uint64
+	// ShardsDispatched counts dispatch attempts started (steals and
+	// retries included); ShardsCompleted counts shards whose first
+	// response was accepted.
+	ShardsDispatched uint64
+	ShardsCompleted  uint64
+	// ShardsStolen counts speculative re-executions of in-flight shards;
+	// ShardsRetried counts requeues after a failed attempt;
+	// DuplicatesDropped counts responses discarded because another
+	// execution of the same shard already completed it.
+	ShardsStolen      uint64
+	ShardsRetried     uint64
+	DuplicatesDropped uint64
+	// LocalShards counts shards executed by the coordinator's local
+	// fallback because no runner was live.
+	LocalShards uint64
+	// Runners lists the live runners with their in-flight shard counts,
+	// sorted by ID.
+	Runners []RunnerStat
+}
+
+// RunnerStat is one live runner's dispatch gauge.
+type RunnerStat struct {
+	ID         string
+	InFlight   int
+	Dispatched uint64
+}
+
+// NewCoordinator returns a coordinator with no runners; runners join
+// via HandleJoin/Join, AttachLoopback, or not at all (LocalFallback).
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	return &Coordinator{
+		opts:    opts.withDefaults(),
+		runners: make(map[string]*runnerHandle),
+	}
+}
+
+// Options returns the coordinator's resolved options.
+func (c *Coordinator) Options() CoordinatorOptions { return c.opts }
+
+// Join registers (or refreshes) a runner reachable at the given URL
+// base and returns the heartbeat cadence it must keep.
+func (c *Coordinator) Join(id, addr string) time.Duration {
+	c.join(&runnerHandle{
+		id:   id,
+		addr: addr,
+		transport: &httpTransport{
+			addr:   addr,
+			client: &http.Client{Timeout: c.opts.RPCTimeout + 10*time.Second},
+		},
+	})
+	return c.opts.HeartbeatInterval
+}
+
+// join installs a handle into the pool, replacing any previous
+// registration under the same ID, and offers it to active dispatchers.
+func (c *Coordinator) join(h *runnerHandle) {
+	c.mu.Lock()
+	h.lastBeat = time.Now()
+	c.runners[h.id] = h
+	c.stats.RunnersJoined++
+	active := append([]*dispatcher(nil), c.active...)
+	c.mu.Unlock()
+	c.opts.Logf("cluster: runner %s joined (%s)", h.id, h.addr)
+	for _, d := range active {
+		d.addRunner(h)
+	}
+}
+
+// Heartbeat refreshes a registration; false means the coordinator does
+// not know the runner (expired or never joined) and it must rejoin.
+func (c *Coordinator) Heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.runners[id]
+	if !ok || h.dead {
+		return false
+	}
+	h.lastBeat = time.Now()
+	return true
+}
+
+// AttachLoopback registers n in-process runners executing shards by
+// direct call — the no-network mode tests and benchmarks drive. Each
+// loopback runner gets its own bounded executor, so dispatch,
+// in-flight accounting and stealing behave exactly as with real nodes.
+func (c *Coordinator) AttachLoopback(n, parallelism int) {
+	for i := 0; i < n; i++ {
+		c.join(&runnerHandle{
+			id:        fmt.Sprintf("loopback-%d", i+1),
+			addr:      "loopback",
+			transport: loopbackTransport{exec: Exec{Parallelism: parallelism}},
+			loopback:  true,
+		})
+	}
+}
+
+// dropRunner expels a runner from the pool (RPC failures or heartbeat
+// expiry); its in-flight shards are requeued by their workers' fail
+// paths.
+func (c *Coordinator) dropRunner(h *runnerHandle, reason string) {
+	c.mu.Lock()
+	if h.dead {
+		c.mu.Unlock()
+		return
+	}
+	h.dead = true
+	delete(c.runners, h.id)
+	c.stats.RunnersDropped++
+	active := append([]*dispatcher(nil), c.active...)
+	c.mu.Unlock()
+	c.opts.Logf("cluster: runner %s dropped: %s", h.id, reason)
+	for _, d := range active {
+		d.wake()
+	}
+}
+
+// pruneExpired drops runners whose heartbeat lapsed.
+func (c *Coordinator) pruneExpired() {
+	c.mu.Lock()
+	var expired []*runnerHandle
+	now := time.Now()
+	for _, h := range c.runners {
+		if !h.loopback && now.Sub(h.lastBeat) > c.opts.HeartbeatTimeout {
+			expired = append(expired, h)
+		}
+	}
+	c.mu.Unlock()
+	for _, h := range expired {
+		c.dropRunner(h, "heartbeat expired")
+	}
+}
+
+// liveRunners snapshots the current pool.
+func (c *Coordinator) liveRunners() []*runnerHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*runnerHandle, 0, len(c.runners))
+	for _, h := range c.runners {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Stats snapshots the dispatch counters. Expired runners are pruned
+// first, so the snapshot reflects liveness even while no batch is
+// dispatching (the monitor goroutine only runs during a Run).
+func (c *Coordinator) Stats() Stats {
+	c.pruneExpired()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.RunnersLive = len(c.runners)
+	s.Runners = make([]RunnerStat, 0, len(c.runners))
+	for _, h := range c.runners {
+		s.Runners = append(s.Runners, RunnerStat{ID: h.id, InFlight: h.inFlight, Dispatched: h.dispatched})
+	}
+	sort.Slice(s.Runners, func(i, j int) bool { return s.Runners[i].ID < s.Runners[j].ID })
+	return s
+}
+
+// HandleJoin is the coordinator's POST /cluster/v1/join endpoint.
+func (c *Coordinator) HandleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := checkVersions(req.Proto, req.Schema, req.Engine); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		http.Error(w, "cluster: join needs id and addr", http.StatusBadRequest)
+		return
+	}
+	interval := c.Join(req.ID, req.Addr)
+	writeJSON(w, joinResponse{OK: true, HeartbeatMillis: interval.Milliseconds()})
+}
+
+// HandleHeartbeat is the coordinator's POST /cluster/v1/heartbeat
+// endpoint. A false ack tells the runner to rejoin.
+func (c *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": c.Heartbeat(req.ID)})
+}
+
+// Run executes a batch of runs across the cluster and returns outcomes
+// in input order — the deterministic merge every distributed document
+// rests on. progress (optional) is called with completed and total run
+// counts as shards finish. Run fails only on cancellation, a shard
+// exhausting its attempt budget, or an empty pool with LocalFallback
+// off; per-run failures ride the outcome Err slots.
+func (c *Coordinator) Run(ctx context.Context, cfg Config, runs []Run, progress func(done, total int)) ([]RunOutcome, error) {
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	return newDispatcher(c, cfg, runs, progress).run(ctx)
+}
+
+// Evaluator adapts the coordinator into the design-space search's
+// evaluation seam: batches of dse runs execute as cluster shards, and
+// outcomes come back as the integer measurements the search folds
+// locally — so a distributed exploration is byte-identical to a
+// single-process one.
+func (c *Coordinator) Evaluator() dse.Evaluator {
+	return func(ctx context.Context, cfg dse.EvalConfig, runs []dse.EvalRun) ([]dse.EvalResult, error) {
+		creq := make([]Run, len(runs))
+		for i, r := range runs {
+			creq[i] = Run{Design: r.Design, Workload: r.Workload, Ratio16: r.Ratio16}
+		}
+		outs, err := c.Run(ctx, Config{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.SimSeed}, creq, nil)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]dse.EvalResult, len(outs))
+		for i, o := range outs {
+			res[i] = dse.EvalResult{
+				Cycles:     o.Result.Cycles,
+				WriteBytes: o.NMWriteBytes + o.FMWriteBytes,
+				Err:        o.Err,
+			}
+		}
+		return res, nil
+	}
+}
+
+// isDead reports whether a handle has been expelled from the pool.
+func (c *Coordinator) isDead(h *runnerHandle) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return h.dead
+}
+
+// liveCount counts registered runners (the local fallback handle is
+// never registered, so it does not count itself).
+func (c *Coordinator) liveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runners)
+}
+
+// noteDispatch, noteSettled and noteFailed keep the dispatch counters
+// and per-runner gauges.
+func (c *Coordinator) noteDispatch(h *runnerHandle, stolen, local bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h.inFlight++
+	h.dispatched++
+	c.stats.ShardsDispatched++
+	if stolen {
+		c.stats.ShardsStolen++
+	}
+	if local {
+		c.stats.LocalShards++
+	}
+}
+
+func (c *Coordinator) noteSettled(h *runnerHandle, duplicate bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h.inFlight--
+	if duplicate {
+		c.stats.DuplicatesDropped++
+	} else {
+		c.stats.ShardsCompleted++
+	}
+}
+
+func (c *Coordinator) noteFailed(h *runnerHandle, retried bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h.inFlight--
+	if retried {
+		c.stats.ShardsRetried++
+	}
+}
+
+// localParallelism resolves the fallback executor's worker bound.
+func (c *Coordinator) localParallelism() int {
+	if c.opts.LocalParallelism > 0 {
+		return c.opts.LocalParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// httpTransport dials a runner node's shard endpoint.
+type httpTransport struct {
+	addr   string
+	client *http.Client
+}
+
+func (t *httpTransport) runShard(ctx context.Context, req ShardRequest) (ShardResponse, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, t.addr+"/cluster/v1/shard", bytes.NewReader(data))
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(hreq)
+	if err != nil {
+		return ShardResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return ShardResponse{}, fmt.Errorf("cluster: shard RPC to %s: %s: %s", t.addr, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out ShardResponse
+	if err := decodeJSON(resp.Body, &out); err != nil {
+		return ShardResponse{}, err
+	}
+	return out, nil
+}

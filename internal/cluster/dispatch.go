@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hybridmem/internal/api"
+)
+
+// shardState tracks one shard through dispatch. Guarded by the
+// dispatcher's mu.
+type shardState struct {
+	idx     int
+	lo, hi  int // run index range [lo, hi) of the batch
+	execs   map[*runnerHandle]bool
+	failed  int // completed failed attempts
+	done    bool
+	results []RunOutcome
+}
+
+// dispatcher drives one batch across the runner pool: a pull-based
+// queue where every runner's worker slots take pending shards first and
+// steal in-flight stragglers when the queue runs dry. All scheduling is
+// free-form; determinism comes from reassembling results by shard index
+// at the end.
+type dispatcher struct {
+	c        *Coordinator
+	cfg      Config
+	runs     []Run
+	progress func(done, total int)
+	ctx      context.Context
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	shards    []*shardState
+	pending   []int
+	remaining int
+	doneRuns  int
+	fatal     error
+	finished  bool
+	started   map[*runnerHandle]bool
+}
+
+func newDispatcher(c *Coordinator, cfg Config, runs []Run, progress func(done, total int)) *dispatcher {
+	d := &dispatcher{
+		c:        c,
+		cfg:      cfg,
+		runs:     runs,
+		progress: progress,
+		started:  make(map[*runnerHandle]bool),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	size := c.opts.ShardSize
+	for lo := 0; lo < len(runs); lo += size {
+		hi := min(lo+size, len(runs))
+		idx := len(d.shards)
+		d.shards = append(d.shards, &shardState{idx: idx, lo: lo, hi: hi, execs: make(map[*runnerHandle]bool)})
+		d.pending = append(d.pending, idx)
+	}
+	d.remaining = len(d.shards)
+	return d
+}
+
+// run executes the batch: workers for every current runner (plus the
+// local fallback, when enabled), a monitor for liveness and late
+// joiners, and a wait for the last shard. With an empty pool and no
+// fallback it blocks until a runner joins or ctx cancels — queued work
+// waits for capacity, it is not an error.
+func (d *dispatcher) run(ctx context.Context) ([]RunOutcome, error) {
+	d.mu.Lock()
+	d.ctx = ctx
+	d.mu.Unlock()
+
+	c := d.c
+	c.mu.Lock()
+	c.active = append(c.active, d)
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		for i, a := range c.active {
+			if a == d {
+				c.active = append(c.active[:i], c.active[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+	}()
+
+	stop := context.AfterFunc(ctx, d.wake)
+	defer stop()
+	monCtx, monCancel := context.WithCancel(ctx)
+	defer monCancel()
+	go d.monitor(monCtx)
+
+	for _, h := range c.liveRunners() {
+		d.addRunner(h)
+	}
+	if c.opts.LocalFallback {
+		d.addRunner(&runnerHandle{
+			id:        "local",
+			addr:      "local",
+			transport: loopbackTransport{exec: Exec{Parallelism: c.localParallelism()}},
+			loopback:  true,
+			local:     true,
+		})
+	}
+
+	d.mu.Lock()
+	for d.fatal == nil && d.remaining > 0 && ctx.Err() == nil {
+		d.cond.Wait()
+	}
+	d.finished = true
+	err := d.fatal
+	if err == nil {
+		err = ctx.Err()
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]RunOutcome, len(d.runs))
+	for _, sh := range d.shards {
+		copy(out[sh.lo:sh.hi], sh.results)
+	}
+	return out, nil
+}
+
+// wake pokes every waiting worker and the run loop.
+func (d *dispatcher) wake() {
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// addRunner spawns this batch's worker slots for a runner — called for
+// the pool at start and by Coordinator.join for runners arriving
+// mid-batch. Idempotent per handle.
+func (d *dispatcher) addRunner(h *runnerHandle) {
+	d.mu.Lock()
+	if d.finished || d.started[h] || d.ctx == nil {
+		d.mu.Unlock()
+		return
+	}
+	d.started[h] = true
+	ctx := d.ctx
+	d.mu.Unlock()
+	for i := 0; i < d.c.opts.MaxInFlight; i++ {
+		go d.worker(ctx, h)
+	}
+	d.wake()
+}
+
+// monitor prunes heartbeat-expired runners while the batch runs. Late
+// joiners get workers through Coordinator.join directly.
+func (d *dispatcher) monitor(ctx context.Context) {
+	interval := min(d.c.opts.HeartbeatInterval, 500*time.Millisecond)
+	for ctx.Err() == nil {
+		sleepCtx(ctx, interval)
+		d.c.pruneExpired()
+	}
+}
+
+// worker is one in-flight slot of one runner: take a shard, execute the
+// RPC, settle the outcome; repeat until the batch (or the runner) is
+// done. Consecutive RPC failures back off and eventually expel the
+// runner from the pool, requeueing its work.
+func (d *dispatcher) worker(ctx context.Context, h *runnerHandle) {
+	consecutive := 0
+	for {
+		sh, ok := d.next(ctx, h)
+		if !ok {
+			return
+		}
+		rpcCtx, cancel := context.WithTimeout(ctx, d.c.opts.RPCTimeout)
+		resp, err := h.transport.runShard(rpcCtx, ShardRequest{
+			Proto:  ProtoVersion,
+			Schema: api.SchemaVersion,
+			Engine: api.EngineVersion,
+			Shard:  sh.idx,
+			Config: d.cfg,
+			Runs:   d.runs[sh.lo:sh.hi],
+		})
+		cancel()
+		if err == nil && len(resp.Runs) != sh.hi-sh.lo {
+			err = fmt.Errorf("cluster: runner %s returned %d outcomes for %d runs", h.id, len(resp.Runs), sh.hi-sh.lo)
+		}
+		if err != nil {
+			d.fail(sh, h, err)
+			if ctx.Err() != nil {
+				return
+			}
+			consecutive++
+			d.c.opts.Logf("cluster: shard %d on %s failed (attempt strike %d): %v", sh.idx, h.id, consecutive, err)
+			if consecutive >= d.c.opts.FailuresToDrop && !h.local {
+				d.c.dropRunner(h, fmt.Sprintf("%d consecutive RPC failures", consecutive))
+				return
+			}
+			sleepCtx(ctx, time.Duration(consecutive)*d.c.opts.RetryBackoff)
+			continue
+		}
+		consecutive = 0
+		d.complete(sh, h, resp.Runs)
+	}
+}
+
+// next blocks until there is a shard for this runner (pending first,
+// then a steal), or the batch no longer needs it. The local fallback
+// handle stands down whenever any real runner is live.
+func (d *dispatcher) next(ctx context.Context, h *runnerHandle) (*shardState, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.finished || d.fatal != nil || d.remaining == 0 || ctx.Err() != nil || d.c.isDead(h) {
+			return nil, false
+		}
+		var sh *shardState
+		stolen := false
+		switch {
+		case h.local && d.c.liveCount() > 0:
+			// Real runners own the queue; the fallback only runs when the
+			// pool is empty.
+		case len(d.pending) > 0:
+			sh = d.shards[d.pending[0]]
+			d.pending = d.pending[1:]
+		case d.c.opts.MaxSteals > 0:
+			// Steal the lowest-index straggler this runner is not already
+			// executing, bounded to 1+MaxSteals concurrent executions.
+			for _, cand := range d.shards {
+				if !cand.done && len(cand.execs) >= 1 && len(cand.execs) <= d.c.opts.MaxSteals && !cand.execs[h] {
+					sh = cand
+					stolen = true
+					break
+				}
+			}
+		}
+		if sh != nil {
+			sh.execs[h] = true
+			d.c.noteDispatch(h, stolen, h.local)
+			return sh, true
+		}
+		d.cond.Wait()
+	}
+}
+
+// complete settles a successful execution. The first response for a
+// shard wins; any later duplicate (a steal that lost the race) is
+// discarded — sound because executions are deterministic, so duplicates
+// are identical.
+func (d *dispatcher) complete(sh *shardState, h *runnerHandle, outs []RunOutcome) {
+	d.mu.Lock()
+	delete(sh.execs, h)
+	if sh.done {
+		d.mu.Unlock()
+		d.c.noteSettled(h, true)
+		d.wake()
+		return
+	}
+	sh.done = true
+	sh.results = outs
+	d.remaining--
+	d.doneRuns += len(outs)
+	if d.progress != nil {
+		// Under mu: progress calls stay serialized with done strictly
+		// increasing, matching the in-process runner's contract.
+		d.progress(d.doneRuns, len(d.runs))
+	}
+	d.mu.Unlock()
+	d.c.noteSettled(h, false)
+	d.wake()
+}
+
+// fail settles a failed execution: requeue the shard once no execution
+// of it remains (a surviving steal may still complete it), or give up
+// on the whole batch when the shard exhausts its attempt budget.
+func (d *dispatcher) fail(sh *shardState, h *runnerHandle, err error) {
+	d.mu.Lock()
+	delete(sh.execs, h)
+	retried := false
+	if !sh.done {
+		sh.failed++
+		if len(sh.execs) == 0 {
+			if sh.failed >= d.c.opts.MaxAttempts {
+				d.fatal = fmt.Errorf("cluster: shard %d failed %d attempt(s), giving up: %w", sh.idx, sh.failed, err)
+			} else {
+				d.pending = append(d.pending, sh.idx)
+				retried = true
+			}
+		}
+	}
+	d.mu.Unlock()
+	d.c.noteFailed(h, retried)
+	d.wake()
+}

@@ -1,0 +1,17 @@
+package cluster
+
+import "context"
+
+// loopbackTransport executes shards by direct call — the transport of
+// AttachLoopback runners and the coordinator's local fallback. It goes
+// through exactly the same dispatch machinery (sharding, in-flight
+// bounds, stealing, retry, index-ordered merge) as an HTTP runner, so
+// loopback tests and benchmarks exercise the real execution plane minus
+// the sockets.
+type loopbackTransport struct {
+	exec Exec
+}
+
+func (t loopbackTransport) runShard(ctx context.Context, req ShardRequest) (ShardResponse, error) {
+	return t.exec.RunShard(ctx, req)
+}

@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"hybridmem/internal/api"
+	"hybridmem/internal/config"
+	"hybridmem/internal/exp"
+	"hybridmem/internal/workload"
+)
+
+// maxRPCBytes bounds cluster RPC bodies: shard requests and responses
+// are small structured documents, so anything larger is garbage or
+// abuse, not work.
+const maxRPCBytes = 16 << 20
+
+// Exec executes shards in-process — the execution core shared by real
+// runner nodes, the loopback transport and the coordinator's local
+// fallback. Every shard gets a fresh exp.Runner configured from the
+// request, so outcomes are the pure deterministic simulation function
+// of (config, run) with no cross-shard state.
+type Exec struct {
+	// Parallelism bounds concurrent simulations per shard; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+// RunShard executes one shard request and returns outcomes in run
+// order. Per-run failures (unknown workload, invalid config, malformed
+// design, simulation error) ride the outcome Err slots; only version
+// mismatch and cancellation fail the call itself.
+func (e Exec) RunShard(ctx context.Context, req ShardRequest) (ShardResponse, error) {
+	if err := checkVersions(req.Proto, req.Schema, req.Engine); err != nil {
+		return ShardResponse{}, err
+	}
+	runner := &exp.Runner{
+		Scale:        req.Config.Scale,
+		InstrPerCore: req.Config.InstrPerCore,
+		Seed:         req.Config.Seed,
+		Parallelism:  e.Parallelism,
+	}
+	resp := ShardResponse{Proto: ProtoVersion, Shard: req.Shard, Runs: make([]RunOutcome, len(req.Runs))}
+	specs := make([]exp.RunSpec, len(req.Runs))
+	skip := make([]bool, len(req.Runs))
+	for i, run := range req.Runs {
+		if err := config.ValidateRun(req.Config.Scale, run.Ratio16, req.Config.InstrPerCore); err != nil {
+			resp.Runs[i].Err = fmt.Sprintf("cluster: run %s/%s: %v", run.Design, run.Workload, err)
+			skip[i] = true
+			continue
+		}
+		wl, ok := workload.ByName(run.Workload)
+		if !ok {
+			resp.Runs[i].Err = fmt.Sprintf("exp: unknown workload %q", run.Workload)
+			skip[i] = true
+			continue
+		}
+		specs[i] = exp.RunSpec{Workload: wl, Design: run.Design, Ratio16: run.Ratio16}
+	}
+	// Only well-formed runs are simulated; their outcomes map back to
+	// the original slots through liveIdx.
+	live := make([]exp.RunSpec, 0, len(specs))
+	liveIdx := make([]int, 0, len(specs))
+	for i, sp := range specs {
+		if !skip[i] {
+			live = append(live, sp)
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	results, errs := runner.ResultsParallelEach(ctx, live)
+	if err := ctx.Err(); err != nil {
+		return ShardResponse{}, err
+	}
+	for j, i := range liveIdx {
+		if errs[j] != nil {
+			resp.Runs[i].Err = errs[j].Error()
+			continue
+		}
+		r := results[j]
+		resp.Runs[i] = RunOutcome{
+			Result:       api.FromSim(r),
+			NMWriteBytes: r.Mem.NMWriteBytes,
+			FMWriteBytes: r.Mem.FMWriteBytes,
+		}
+	}
+	return resp, nil
+}
+
+// NodeOptions configures a runner node (see ServeNode).
+type NodeOptions struct {
+	// Addr is the listen address (host:port); empty means 127.0.0.1:0.
+	Addr string
+	// Join is the coordinator's base URL (e.g. http://host:8080). The
+	// node keeps (re)joining it for as long as it runs.
+	Join string
+	// Advertise is the URL base the coordinator dials back for shard
+	// RPCs; empty derives http://<listen address>.
+	Advertise string
+	// ID names this runner to the coordinator; empty derives it from the
+	// listen address.
+	ID string
+	// Parallelism bounds concurrent simulations per shard; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// OnListen, when non-nil, is called with the bound listen address
+	// before serving starts — how tests and callers learn a :0 port.
+	OnListen func(addr string)
+}
+
+// node is one running runner process.
+type node struct {
+	opts   NodeOptions
+	exec   Exec
+	client *http.Client
+
+	mu       sync.Mutex
+	attached bool
+}
+
+// ServeNode runs a runner node until ctx is canceled: it listens for
+// shard RPCs, joins the coordinator at opts.Join, and heartbeats at the
+// coordinator's advertised cadence, rejoining whenever the coordinator
+// restarts or expires the registration. Returns nil on clean shutdown.
+func ServeNode(ctx context.Context, opts NodeOptions) error {
+	if opts.Join == "" {
+		return errors.New("cluster: runner needs a coordinator URL to join")
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return err
+	}
+	if opts.Advertise == "" {
+		opts.Advertise = "http://" + ln.Addr().String()
+	}
+	if opts.ID == "" {
+		opts.ID = "runner-" + ln.Addr().String()
+	}
+	if opts.OnListen != nil {
+		opts.OnListen(ln.Addr().String())
+	}
+	n := &node{
+		opts:   opts,
+		exec:   Exec{Parallelism: opts.Parallelism},
+		client: &http.Client{Timeout: 10 * time.Second},
+	}
+	srv := &http.Server{Handler: n.mux(), BaseContext: func(net.Listener) context.Context { return ctx }}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	go n.attachLoop(ctx)
+	opts.Logf("cluster: runner %s listening on %s, joining %s", opts.ID, ln.Addr(), opts.Join)
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+		<-serveErr
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+func (n *node) setAttached(v bool) {
+	n.mu.Lock()
+	n.attached = v
+	n.mu.Unlock()
+}
+
+func (n *node) isAttached() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.attached
+}
+
+// mux serves the runner's two endpoints: shard execution and health.
+func (n *node) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/shard", func(w http.ResponseWriter, r *http.Request) {
+		var req ShardRequest
+		if err := decodeJSON(r.Body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := n.exec.RunShard(r.Context(), req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":      "ok",
+			"role":        "runner",
+			"id":          n.opts.ID,
+			"coordinator": n.opts.Join,
+			"attached":    n.isAttached(),
+		})
+	})
+	return mux
+}
+
+// attachLoop keeps the node registered: join, then heartbeat at the
+// advertised cadence; any heartbeat failure drops back to joining.
+func (n *node) attachLoop(ctx context.Context) {
+	const joinRetry = 500 * time.Millisecond
+	for ctx.Err() == nil {
+		interval, err := n.join(ctx)
+		if err != nil {
+			n.setAttached(false)
+			n.opts.Logf("cluster: runner %s: join %s: %v", n.opts.ID, n.opts.Join, err)
+			sleepCtx(ctx, joinRetry)
+			continue
+		}
+		n.setAttached(true)
+		n.opts.Logf("cluster: runner %s attached to %s (heartbeat every %v)", n.opts.ID, n.opts.Join, interval)
+		for ctx.Err() == nil {
+			sleepCtx(ctx, interval)
+			if ctx.Err() != nil {
+				break
+			}
+			if err := n.heartbeat(ctx); err != nil {
+				n.setAttached(false)
+				n.opts.Logf("cluster: runner %s: heartbeat: %v; rejoining", n.opts.ID, err)
+				break
+			}
+		}
+	}
+}
+
+// join registers with the coordinator and returns the heartbeat cadence.
+func (n *node) join(ctx context.Context) (time.Duration, error) {
+	req := joinRequest{
+		Proto:  ProtoVersion,
+		Schema: api.SchemaVersion,
+		Engine: api.EngineVersion,
+		ID:     n.opts.ID,
+		Addr:   n.opts.Advertise,
+	}
+	var resp joinResponse
+	if err := n.post(ctx, n.opts.Join+"/cluster/v1/join", req, &resp); err != nil {
+		return 0, err
+	}
+	if !resp.OK || resp.HeartbeatMillis <= 0 {
+		return 0, fmt.Errorf("cluster: coordinator rejected join")
+	}
+	return time.Duration(resp.HeartbeatMillis) * time.Millisecond, nil
+}
+
+func (n *node) heartbeat(ctx context.Context) error {
+	var ack struct {
+		OK bool `json:"ok"`
+	}
+	if err := n.post(ctx, n.opts.Join+"/cluster/v1/heartbeat", heartbeatRequest{ID: n.opts.ID}, &ack); err != nil {
+		return err
+	}
+	if !ack.OK {
+		return errors.New("cluster: registration expired")
+	}
+	return nil
+}
+
+// post sends one JSON request and decodes the JSON response.
+func (n *node) post(ctx context.Context, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return decodeJSON(resp.Body, out)
+}
+
+// sleepCtx sleeps d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// decodeJSON strictly decodes one bounded JSON document.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxRPCBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("cluster: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

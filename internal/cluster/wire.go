@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hybridmem/internal/api"
+)
+
+// ProtoVersion identifies the cluster RPC layout below. Every request
+// carries it alongside the api schema and engine versions, and a
+// coordinator/runner pair disagreeing on any of the three refuses to
+// exchange work: a version-skewed node computing results under different
+// engine semantics would silently break the byte-identity guarantee.
+const ProtoVersion = 1
+
+// Config is the per-shard simulation configuration shared by every run
+// of a batch. The NM:FM ratio is per-run (sweeps mix ratios; DSE
+// candidates each carry their own), so it lives on Run, not here.
+type Config struct {
+	Scale        int    `json:"scale"`
+	InstrPerCore uint64 `json:"instr_per_core"`
+	Seed         uint64 `json:"seed"`
+}
+
+// Run identifies one simulation of a shard: a registered design name, a
+// workload name, and the NM:FM capacity ratio in sixteenths.
+type Run struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Ratio16  int    `json:"ratio16"`
+}
+
+// ShardRequest is one unit of dispatched work: a contiguous slice of a
+// batch's runs, executed independently by any runner.
+type ShardRequest struct {
+	Proto  int    `json:"proto"`
+	Schema int    `json:"schema"`
+	Engine int    `json:"engine"`
+	Shard  int    `json:"shard"`
+	Config Config `json:"config"`
+	Runs   []Run  `json:"runs"`
+}
+
+// RunOutcome is the result of one run of a shard. Result is the
+// canonical wire form (exactly what api.FromSim produces locally, so
+// documents assembled from outcomes are byte-identical to local runs);
+// the raw write-byte counters ride alongside because the DSE objective
+// needs them and they are not recoverable from the derived traffic
+// fields. A failed run has a zero Result and a non-empty Err.
+type RunOutcome struct {
+	Result       api.Result `json:"result"`
+	NMWriteBytes uint64     `json:"nm_write_bytes"`
+	FMWriteBytes uint64     `json:"fm_write_bytes"`
+	Err          string     `json:"error,omitempty"`
+}
+
+// ShardResponse carries a shard's outcomes back, in the request's run
+// order.
+type ShardResponse struct {
+	Proto int          `json:"proto"`
+	Shard int          `json:"shard"`
+	Runs  []RunOutcome `json:"runs"`
+}
+
+// joinRequest registers a runner with the coordinator. Addr is the URL
+// base the coordinator dials back for shard RPCs.
+type joinRequest struct {
+	Proto  int    `json:"proto"`
+	Schema int    `json:"schema"`
+	Engine int    `json:"engine"`
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+}
+
+// joinResponse acknowledges a registration and tells the runner how
+// often to heartbeat.
+type joinResponse struct {
+	OK              bool  `json:"ok"`
+	HeartbeatMillis int64 `json:"heartbeat_millis"`
+}
+
+// heartbeatRequest keeps a registration live.
+type heartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// checkVersions rejects cross-version work exchange.
+func checkVersions(proto, schema, engine int) error {
+	if proto != ProtoVersion || schema != api.SchemaVersion || engine != api.EngineVersion {
+		return fmt.Errorf("cluster: version mismatch: peer speaks proto=%d schema=%d engine=%d, this node proto=%d schema=%d engine=%d",
+			proto, schema, engine, ProtoVersion, api.SchemaVersion, api.EngineVersion)
+	}
+	return nil
+}

@@ -81,7 +81,6 @@ import (
 	"hybridmem/internal/design"
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
 	"hybridmem/internal/exp"
-	"hybridmem/internal/sim"
 	"hybridmem/internal/workload"
 )
 
@@ -134,6 +133,16 @@ type Options struct {
 	// rejection of unbounded parameters.
 	MaxPerParam  int
 	UnboundedMax int
+	// Eval, when non-nil, routes every simulation batch — candidate
+	// rounds and baselines, at either fidelity — through an external
+	// evaluator instead of the in-process runner; the hook the cluster
+	// coordinator uses to distribute a search. All search state (RNG,
+	// batching, frontier folds, checkpoints) stays local, and results
+	// travel as integer measurements, so a distributed search is
+	// byte-identical to a single-process one. Eval is deliberately not
+	// part of the checkpoint fingerprint: local and distributed runs of
+	// the same search share checkpoints interchangeably.
+	Eval Evaluator
 	// Checkpoint is the state-file path, rewritten atomically after
 	// every round; empty disables checkpointing. Resume continues from
 	// an existing checkpoint instead of starting fresh.
@@ -474,16 +483,15 @@ func (s *searcher) restore(ck *checkpoint) error {
 // normalization point of every candidate's speedup — at full or
 // screening fidelity.
 func (s *searcher) evalBaseline(ctx context.Context, screen bool) error {
-	runner := s.runner
-	if screen {
-		runner = s.screenRunner
-	}
 	runs := make([]exp.RunSpec, len(s.wls))
 	for i, wl := range s.wls {
 		runs[i] = exp.RunSpec{Workload: wl, Design: "Baseline", Ratio16: 1}
 	}
-	res, err := runner.ResultsParallelCtx(ctx, runs)
+	res, err := s.runBatch(ctx, runs, screen)
 	if err != nil {
+		return fmt.Errorf("dse: baseline: %w", err)
+	}
+	if err := batchErr(res); err != nil {
 		return fmt.Errorf("dse: baseline: %w", err)
 	}
 	cycles := make([]uint64, len(s.wls))
@@ -491,7 +499,7 @@ func (s *searcher) evalBaseline(ctx context.Context, screen bool) error {
 		if r.Cycles == 0 {
 			return fmt.Errorf("dse: baseline run of %s completed no cycles", s.wls[i].Name)
 		}
-		cycles[i] = uint64(r.Cycles)
+		cycles[i] = r.Cycles
 	}
 	if screen {
 		s.screenBaseline = cycles
@@ -669,13 +677,15 @@ func (s *searcher) randomPick(pool []design.Spec, k int) []design.Spec {
 }
 
 // evalBatch evaluates one round: every (candidate, workload) run fans
-// out through the parallel runner at once. A canceled context aborts the
-// whole round (nothing of it is recorded); a candidate whose runs fail
-// for any other reason becomes an infeasible point.
+// out through one runBatch call — the parallel in-process runner, or
+// the external evaluator of a distributed search. A canceled context
+// (or evaluator failure) aborts the whole round — nothing of it is
+// recorded; a candidate whose runs fail for any other reason becomes an
+// infeasible point.
 func (s *searcher) evalBatch(ctx context.Context, batch []design.Spec, screen bool) ([]Point, error) {
-	runner, baseline := s.runner, s.baseline
+	baseline := s.baseline
 	if screen {
-		runner, baseline = s.screenRunner, s.screenBaseline
+		baseline = s.screenBaseline
 	}
 	runs := make([]exp.RunSpec, 0, len(batch)*len(s.wls))
 	for _, c := range batch {
@@ -683,36 +693,36 @@ func (s *searcher) evalBatch(ctx context.Context, batch []design.Spec, screen bo
 			runs = append(runs, exp.RunSpec{Workload: wl, Design: c.Name, Ratio16: s.opts.Ratio16})
 		}
 	}
-	res, _ := runner.ResultsParallelCtx(ctx, runs)
-	if err := ctx.Err(); err != nil {
+	res, err := s.runBatch(ctx, runs, screen)
+	if err != nil {
 		return nil, err
 	}
 	pts := make([]Point, len(batch))
 	for i, c := range batch {
-		pts[i] = s.score(c, res[i*len(s.wls):(i+1)*len(s.wls)], runner, baseline)
+		pts[i] = s.score(c, res[i*len(s.wls):(i+1)*len(s.wls)], baseline)
 	}
 	return pts, nil
 }
 
 // score folds one candidate's per-workload results into its objective
 // vector, normalized to the baseline of the fidelity it ran at. A
-// zero-cycle slot marks a failed run; its memoized error is recalled
-// (for free) to label the infeasible point.
-func (s *searcher) score(c design.Spec, res []sim.Result, runner *exp.Runner, baseline []uint64) Point {
+// zero-cycle slot marks a failed run; its transported error labels the
+// infeasible point.
+func (s *searcher) score(c design.Spec, res []EvalResult, baseline []uint64) Point {
 	p := Point{Design: c.Name}
 	var logSpeedup, traffic float64
 	for i, r := range res {
 		if r.Cycles == 0 {
 			p.Infeasible = true
-			if _, err := runner.ResultErr(s.wls[i], c.Name, s.opts.Ratio16); err != nil {
-				p.Err = err.Error()
+			if r.Err != "" {
+				p.Err = r.Err
 			} else {
 				p.Err = "zero-cycle run"
 			}
 			return p
 		}
 		logSpeedup += math.Log(float64(baseline[i]) / float64(r.Cycles))
-		traffic += float64(r.Mem.NMWriteBytes + r.Mem.FMWriteBytes)
+		traffic += float64(r.WriteBytes)
 	}
 	n := float64(len(res))
 	p.Speedup = math.Exp(logSpeedup / n)

@@ -1,0 +1,107 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hybridmem/internal/exp"
+)
+
+// EvalRun identifies one simulation an evaluator must execute: a
+// registered design name, a workload name, and the NM:FM ratio in
+// sixteenths.
+type EvalRun struct {
+	Design   string
+	Workload string
+	Ratio16  int
+}
+
+// EvalConfig is the simulation configuration shared by every run of an
+// evaluation batch. InstrPerCore is the fidelity the batch runs at —
+// the screening budget during a multi-fidelity search's screening
+// phase, the full budget otherwise.
+type EvalConfig struct {
+	Scale        int
+	InstrPerCore uint64
+	SimSeed      uint64
+}
+
+// EvalResult is the outcome of one run: the cycle count, the combined
+// NM+FM write bytes (the search's traffic objective), and the error
+// string of a failed run. Cycles == 0 marks failure; Err carries its
+// cause (empty means a genuine zero-cycle run). Integer measurements
+// only — the search derives every float objective itself, so results
+// computed remotely fold into the frontier bit-identically to local
+// ones.
+type EvalResult struct {
+	Cycles     uint64
+	WriteBytes uint64
+	Err        string
+}
+
+// Evaluator executes one batch of simulations and returns outcomes in
+// input order, one per run. It must return an error only for batch-wide
+// failures (cancellation, lost cluster); per-run failures ride the
+// EvalResult.Err slots so one broken candidate never aborts a round.
+// Evaluations must be the deterministic simulation function of
+// (cfg, run) — the engine guarantees this — so any evaluator
+// (in-process, loopback, distributed) yields byte-identical searches.
+type Evaluator func(ctx context.Context, cfg EvalConfig, runs []EvalRun) ([]EvalResult, error)
+
+// runBatch executes one batch of runs at the given fidelity: through
+// Options.Eval when set (the distributed path), otherwise on the
+// in-process runner of that fidelity. Either way the outcomes come back
+// in input order with per-run error attribution.
+func (s *searcher) runBatch(ctx context.Context, runs []exp.RunSpec, screen bool) ([]EvalResult, error) {
+	if s.opts.Eval != nil {
+		cfg := EvalConfig{Scale: s.opts.Scale, InstrPerCore: s.opts.InstrPerCore, SimSeed: s.opts.SimSeed}
+		if screen {
+			cfg.InstrPerCore = s.opts.ScreenInstrPerCore
+		}
+		evalRuns := make([]EvalRun, len(runs))
+		for i, r := range runs {
+			evalRuns[i] = EvalRun{Design: r.Design, Workload: r.Workload.Name, Ratio16: r.Ratio16}
+		}
+		out, err := s.opts.Eval(ctx, cfg, evalRuns)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(runs) {
+			return nil, fmt.Errorf("dse: evaluator returned %d results for %d runs", len(out), len(runs))
+		}
+		return out, nil
+	}
+	runner := s.runner
+	if screen {
+		runner = s.screenRunner
+	}
+	res, errs := runner.ResultsParallelEach(ctx, runs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]EvalResult, len(runs))
+	for i, r := range res {
+		out[i] = EvalResult{
+			Cycles:     uint64(r.Cycles),
+			WriteBytes: r.Mem.NMWriteBytes + r.Mem.FMWriteBytes,
+		}
+		if errs[i] != nil {
+			out[i].Err = errs[i].Error()
+		}
+	}
+	return out, nil
+}
+
+// batchErr joins the per-run error strings of a batch — the batch-fatal
+// form used where any failed run invalidates the whole evaluation (the
+// baseline).
+func batchErr(out []EvalResult) error {
+	var errs []error
+	for _, r := range out {
+		if r.Err != "" {
+			errs = append(errs, errors.New(r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -89,6 +89,37 @@ func (f *frontier) sorted() []Point {
 	return out
 }
 
+// FrontierOf computes the Pareto frontier of a set of evaluated points
+// in the canonical reporting order (see frontier.sorted). Infeasible
+// points never join. The fold is order-independent — dominance is
+// transitive, so every dominated point is rejected or evicted no matter
+// when its dominator arrives — which is what lets a distributed search
+// shard its evaluations freely.
+func FrontierOf(pts []Point) []Point {
+	var f frontier
+	for _, p := range pts {
+		f.add(p)
+	}
+	return f.sorted()
+}
+
+// MergeFrontiers folds per-shard frontiers into the frontier of their
+// union: MergeFrontiers(FrontierOf(s) for every shard s of S) is
+// identical to FrontierOf(S) for any partition and any shard order —
+// points dominated within a shard are also dominated in the union, and
+// cross-shard dominance resolves during the merge fold. This is the
+// determinism guarantee distributed exploration rests on, pinned by a
+// property test over random trails, partitions and permutations.
+func MergeFrontiers(shards ...[]Point) []Point {
+	var f frontier
+	for _, s := range shards {
+		for _, p := range s {
+			f.add(p)
+		}
+	}
+	return f.sorted()
+}
+
 // sortedByName returns the frontier ordered by design name — the
 // deterministic iteration order of the hill-climb's neighbor expansion.
 func (f *frontier) sortedByName() []Point {

@@ -219,6 +219,16 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 // error instead of escaping on a worker goroutine, where no caller's
 // recover could catch it.
 func (r *Runner) parallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return errors.Join(r.parallelForEach(ctx, n, fn)...)
+}
+
+// parallelForEach is the per-index core of parallelForCtx: it returns
+// one error slot per index (nil on success) instead of joining them, so
+// callers that need per-run granularity — the cluster shard executor,
+// the DSE evaluator — can tell exactly which runs failed. Cancellation
+// and panic handling are as described on parallelForCtx; indices
+// abandoned by cancellation settle as ctx.Err().
+func (r *Runner) parallelForEach(ctx context.Context, n int, fn func(i int) error) []error {
 	call := func(i int) (err error) {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -236,7 +246,7 @@ func (r *Runner) parallelForCtx(ctx context.Context, n int, fn func(i int) error
 		for i := 0; i < n; i++ {
 			errs[i] = call(i)
 		}
-		return errors.Join(errs...)
+		return errs
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -262,7 +272,7 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-	return errors.Join(errs...)
+	return errs
 }
 
 // ResultsParallel evaluates the given runs across the runner's worker
@@ -307,6 +317,23 @@ func (r *Runner) ResultsParallelProgress(ctx context.Context, specs []RunSpec, p
 		return err
 	})
 	return out, err
+}
+
+// ResultsParallelEach evaluates the given runs across the runner's
+// worker pool and returns results and errors in input order, one error
+// slot per run (nil on success) — no joining, so executors that relay
+// per-run outcomes (the cluster shard executor, the DSE evaluator) keep
+// exact run-to-error attribution. Memoization, determinism and
+// cancellation behave exactly as in ResultsParallelCtx; a run abandoned
+// by cancellation settles its slot as ctx.Err() with a zero result.
+func (r *Runner) ResultsParallelEach(ctx context.Context, specs []RunSpec) ([]sim.Result, []error) {
+	out := make([]sim.Result, len(specs))
+	errs := r.parallelForEach(ctx, len(specs), func(i int) error {
+		var err error
+		out[i], err = r.ResultErr(specs[i].Workload, specs[i].Design, specs[i].Ratio16)
+		return err
+	})
+	return out, errs
 }
 
 // SweepSpecs pre-enumerates the (workload × design × ratio) cross

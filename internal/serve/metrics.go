@@ -82,6 +82,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "hybridmem_jobs_total{state=\"done\"} %d\n", m.jobsDone.Load())
 	fmt.Fprintf(w, "hybridmem_jobs_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
 
+	if c := s.opts.Cluster; c != nil {
+		st := c.Stats()
+		fmt.Fprintf(w, "hybridmem_cluster_runners_live %d\n", st.RunnersLive)
+		fmt.Fprintf(w, "hybridmem_cluster_runners_joined_total %d\n", st.RunnersJoined)
+		fmt.Fprintf(w, "hybridmem_cluster_runners_dropped_total %d\n", st.RunnersDropped)
+		fmt.Fprintf(w, "hybridmem_cluster_shards_dispatched_total %d\n", st.ShardsDispatched)
+		fmt.Fprintf(w, "hybridmem_cluster_shards_completed_total %d\n", st.ShardsCompleted)
+		fmt.Fprintf(w, "hybridmem_cluster_shards_stolen_total %d\n", st.ShardsStolen)
+		fmt.Fprintf(w, "hybridmem_cluster_shards_retried_total %d\n", st.ShardsRetried)
+		fmt.Fprintf(w, "hybridmem_cluster_duplicates_dropped_total %d\n", st.DuplicatesDropped)
+		fmt.Fprintf(w, "hybridmem_cluster_local_shards_total %d\n", st.LocalShards)
+		for _, rs := range st.Runners {
+			fmt.Fprintf(w, "hybridmem_cluster_runner_inflight{runner=%q} %d\n", rs.ID, rs.InFlight)
+			fmt.Fprintf(w, "hybridmem_cluster_runner_shards_total{runner=%q} %d\n", rs.ID, rs.Dispatched)
+		}
+	}
+
 	m.mu.Lock()
 	labels := make([]string, 0, len(m.endpoints))
 	for l := range m.endpoints {

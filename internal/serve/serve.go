@@ -73,6 +73,7 @@ import (
 
 	"hybridmem/internal/api"
 	"hybridmem/internal/atomicfile"
+	"hybridmem/internal/cluster"
 	"hybridmem/internal/config"
 	"hybridmem/internal/design"
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
@@ -121,6 +122,14 @@ type Options struct {
 	// ask for, so one request cannot pin the CPUs indefinitely (the
 	// paper's runs use 1M). <= 0 means 64M.
 	MaxInstrPerCore uint64
+	// Cluster, when non-nil, makes this server a coordinator: sweeps and
+	// explorations shard across the coordinator's runner pool (see
+	// internal/cluster), and the mux gains the cluster join/heartbeat
+	// endpoints plus /metrics dispatch counters. Results are
+	// byte-identical to local execution; with the coordinator's
+	// LocalFallback set, a pool with no live runners degrades to exactly
+	// the local path.
+	Cluster *cluster.Coordinator
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -240,6 +249,10 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/result", s.handleJobResult))
+	if c := s.opts.Cluster; c != nil {
+		mux.HandleFunc("POST /cluster/v1/join", c.HandleJoin)
+		mux.HandleFunc("POST /cluster/v1/heartbeat", c.HandleHeartbeat)
+	}
 	s.mux = mux
 }
 
@@ -258,14 +271,18 @@ type sweepRequest struct {
 }
 
 type exploreRequest struct {
-	Families     []string   `json:"families"`
-	Workloads    []string   `json:"workloads"`
-	Budget       int        `json:"budget"`
-	BatchSize    int        `json:"batch_size"`
-	Seed         uint64     `json:"seed"`
-	MaxPerParam  int        `json:"max_per_param"`
-	UnboundedMax int        `json:"unbounded_max"`
-	Config       api.Config `json:"config"`
+	Families     []string `json:"families"`
+	Workloads    []string `json:"workloads"`
+	Budget       int      `json:"budget"`
+	BatchSize    int      `json:"batch_size"`
+	Seed         uint64   `json:"seed"`
+	MaxPerParam  int      `json:"max_per_param"`
+	UnboundedMax int      `json:"unbounded_max"`
+	// ScreenInstrPerCore and ScreenBudget enable multi-fidelity
+	// screening (see dse.Options); zero means single fidelity.
+	ScreenInstrPerCore uint64     `json:"screen_instr_per_core,omitempty"`
+	ScreenBudget       int        `json:"screen_budget,omitempty"`
+	Config             api.Config `json:"config"`
 }
 
 // normalizeConfig substitutes the documented default for every zero
@@ -371,6 +388,14 @@ func exploreKey(req exploreRequest) string {
 		"maxvals="+strconv.Itoa(req.MaxPerParam),
 		"ubound="+strconv.Itoa(req.UnboundedMax),
 	)
+	// Appended only when screening is requested, so single-fidelity
+	// fingerprints — and every result cached under them — stay stable.
+	if req.ScreenInstrPerCore > 0 {
+		parts = append(parts,
+			"screen="+strconv.FormatUint(req.ScreenInstrPerCore, 10),
+			"sbudget="+strconv.Itoa(req.ScreenBudget),
+		)
+	}
 	return fingerprint(append(parts, cfgParts(req.Config)...)...)
 }
 
@@ -402,23 +427,31 @@ func (s *Server) defaultRunSweep(ctx context.Context, designs, workloads []strin
 }
 
 func (s *Server) defaultRunExplore(ctx context.Context, req exploreRequest, checkpoint string, resume bool, progress func(dse.Event)) (dse.Result, error) {
-	return dse.Search(ctx, dse.Options{
-		Families:     req.Families,
-		Workloads:    req.Workloads,
-		Budget:       req.Budget,
-		BatchSize:    req.BatchSize,
-		Seed:         req.Seed,
-		Scale:        req.Config.Scale,
-		InstrPerCore: req.Config.InstrPerCore,
-		SimSeed:      req.Config.Seed,
-		Ratio16:      req.Config.NMRatio16,
-		Parallelism:  s.opts.Parallelism,
-		MaxPerParam:  req.MaxPerParam,
-		UnboundedMax: req.UnboundedMax,
-		Checkpoint:   checkpoint,
-		Resume:       resume,
-		Progress:     progress,
-	})
+	opts := dse.Options{
+		Families:           req.Families,
+		Workloads:          req.Workloads,
+		Budget:             req.Budget,
+		BatchSize:          req.BatchSize,
+		Seed:               req.Seed,
+		Scale:              req.Config.Scale,
+		InstrPerCore:       req.Config.InstrPerCore,
+		SimSeed:            req.Config.Seed,
+		Ratio16:            req.Config.NMRatio16,
+		ScreenInstrPerCore: req.ScreenInstrPerCore,
+		ScreenBudget:       req.ScreenBudget,
+		Parallelism:        s.opts.Parallelism,
+		MaxPerParam:        req.MaxPerParam,
+		UnboundedMax:       req.UnboundedMax,
+		Checkpoint:         checkpoint,
+		Resume:             resume,
+		Progress:           progress,
+	}
+	if s.opts.Cluster != nil {
+		// The search stays on this server (RNG, frontier, checkpoints);
+		// only its evaluation batches fan out across the runner pool.
+		opts.Eval = s.opts.Cluster.Evaluator()
+	}
+	return dse.Search(ctx, opts)
 }
 
 // --- job execution ---
@@ -474,15 +507,52 @@ func (s *Server) execSweep(ctx context.Context, j *job) ([]byte, error) {
 	if req == nil {
 		return nil, fmt.Errorf("sweep job %s has no request payload", j.ID)
 	}
-	res, err := s.runSweep(ctx, req.Designs, req.Workloads, req.Config, func(done, total int) {
+	progress := func(done, total int) {
 		if data, merr := json.Marshal(sweepProgress{Done: done, Total: total}); merr == nil {
 			j.publishProgress(data)
 		}
-	})
+	}
+	if s.opts.Cluster != nil {
+		return s.execClusterSweep(ctx, *req, progress)
+	}
+	res, err := s.runSweep(ctx, req.Designs, req.Workloads, req.Config, progress)
 	if err != nil {
 		return nil, err
 	}
 	return api.Encode(api.NewSweep(res))
+}
+
+// execClusterSweep shards the sweep across the runner pool. Outcomes
+// arrive as the canonical wire Result (computed on the runners by the
+// same api.FromSim mapping, in the same SweepSpecsByName order), so the
+// assembled document is byte-identical to the local path's encoding.
+func (s *Server) execClusterSweep(ctx context.Context, req sweepRequest, progress func(done, total int)) ([]byte, error) {
+	specs, err := exp.SweepSpecsByName(req.Designs, req.Workloads, req.Config.NMRatio16)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]cluster.Run, len(specs))
+	for i, sp := range specs {
+		runs[i] = cluster.Run{Design: sp.Design, Workload: sp.Workload.Name, Ratio16: sp.Ratio16}
+	}
+	cfg := cluster.Config{Scale: req.Config.Scale, InstrPerCore: req.Config.InstrPerCore, Seed: req.Config.Seed}
+	outs, err := s.opts.Cluster.Run(ctx, cfg, runs, progress)
+	if err != nil {
+		return nil, err
+	}
+	doc := api.Sweep{Schema: api.SchemaVersion, Results: make([]api.Result, len(outs))}
+	var errs []error
+	for i, o := range outs {
+		if o.Err != "" {
+			errs = append(errs, errors.New(o.Err))
+			continue
+		}
+		doc.Results[i] = o.Result
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return api.Encode(doc)
 }
 
 type exploreProgress struct {
@@ -578,7 +648,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]string{"status": "ok"}
+	if c := s.opts.Cluster; c != nil {
+		body["role"] = "coordinator"
+		body["live_runners"] = strconv.Itoa(c.Stats().RunnersLive)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 type designInfo struct {
@@ -723,6 +798,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if err := s.checkConfig(req.Config); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if req.ScreenInstrPerCore > 0 {
+		screenCfg := req.Config
+		screenCfg.InstrPerCore = req.ScreenInstrPerCore
+		if err := s.checkConfig(screenCfg); err != nil {
+			writeError(w, http.StatusBadRequest, "screen fidelity: %v", err)
+			return
+		}
 	}
 	for _, f := range req.Families {
 		if _, ok := design.LookupInfo(f); !ok {

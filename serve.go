@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"hybridmem/internal/cluster"
 	"hybridmem/internal/serve"
 )
 
@@ -46,6 +47,29 @@ type ServeOptions struct {
 	// OnListen, when non-nil, is called with the bound listen address
 	// once the server accepts connections — useful with ":0" ports.
 	OnListen func(addr string)
+
+	// Coordinator turns the server into a cluster coordinator: runner
+	// nodes (ServeRunner, `hybridmemd -runner`) join it over HTTP and
+	// sweep/exploration jobs are sharded across them with work-stealing.
+	// With no runners attached the coordinator falls back to local
+	// execution, so a coordinator with an empty pool behaves exactly like
+	// a plain server. Distributed results are byte-identical to local
+	// ones (see internal/cluster).
+	Coordinator bool
+	// ClusterLoopbackRunners attaches that many in-process runners to the
+	// coordinator — the no-network distributed mode used by tests and
+	// benchmarks. Non-zero implies Coordinator.
+	ClusterLoopbackRunners int
+	// ClusterShardSize is the number of runs per dispatched shard (<= 0
+	// means 8); ClusterMaxInFlight bounds concurrently dispatched shards
+	// per runner (<= 0 means 2).
+	ClusterShardSize   int
+	ClusterMaxInFlight int
+	// ClusterHeartbeatTimeout expels runners whose heartbeat lapsed
+	// (<= 0 means 10s); ClusterRPCTimeout bounds one shard RPC (<= 0
+	// means 5m).
+	ClusterHeartbeatTimeout time.Duration
+	ClusterRPCTimeout       time.Duration
 }
 
 // Serve runs the simulation-as-a-service HTTP server — the long-lived
@@ -66,6 +90,21 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 30 * time.Second
 	}
+	var coord *cluster.Coordinator
+	if opts.Coordinator || opts.ClusterLoopbackRunners > 0 {
+		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
+			ShardSize:        opts.ClusterShardSize,
+			MaxInFlight:      opts.ClusterMaxInFlight,
+			HeartbeatTimeout: opts.ClusterHeartbeatTimeout,
+			RPCTimeout:       opts.ClusterRPCTimeout,
+			LocalFallback:    true,
+			LocalParallelism: opts.Parallelism,
+			Logf:             opts.Logf,
+		})
+		if opts.ClusterLoopbackRunners > 0 {
+			coord.AttachLoopback(opts.ClusterLoopbackRunners, opts.Parallelism)
+		}
+	}
 	srv, err := serve.New(serve.Options{
 		CacheEntries: opts.CacheEntries,
 		CacheBytes:   opts.CacheBytes,
@@ -75,6 +114,7 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 		Parallelism:  opts.Parallelism,
 		StateDir:     opts.StateDir,
 		Logf:         opts.Logf,
+		Cluster:      coord,
 	})
 	if err != nil {
 		return fmt.Errorf("hybridmem: %w", err)
@@ -127,6 +167,56 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	}
 	if httpErr != nil {
 		return fmt.Errorf("hybridmem: drain: %w", httpErr)
+	}
+	return nil
+}
+
+// RunnerOptions configures a cluster runner node started by ServeRunner.
+type RunnerOptions struct {
+	// Addr is the TCP listen address for shard RPCs and /healthz; empty
+	// means "127.0.0.1:0".
+	Addr string
+	// Join is the coordinator's base URL (e.g. http://host:8080) —
+	// required. The runner keeps (re)joining it for as long as it runs.
+	Join string
+	// Advertise is the URL base the coordinator dials back for shard
+	// RPCs; empty derives http://<listen address>. Set it when the
+	// runner sits behind NAT or a different routable hostname.
+	Advertise string
+	// ID names this runner to the coordinator; empty derives it from the
+	// listen address.
+	ID string
+	// Parallelism bounds concurrent simulations per shard; <= 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// OnListen, when non-nil, is called with the bound listen address
+	// once the runner accepts connections — useful with ":0" ports.
+	OnListen func(addr string)
+}
+
+// ServeRunner runs a cluster runner node: it joins the coordinator at
+// opts.Join, heartbeats to stay registered, and executes the shard RPCs
+// the coordinator dispatches, rejoining automatically if the
+// coordinator restarts or drops it. It blocks until ctx is canceled and
+// returns nil on clean shutdown. cmd/hybridmemd -runner wires this to
+// SIGTERM/SIGINT.
+func ServeRunner(ctx context.Context, opts RunnerOptions) error {
+	if opts.Join == "" {
+		return errors.New("hybridmem: ServeRunner needs a coordinator URL to join")
+	}
+	err := cluster.ServeNode(ctx, cluster.NodeOptions{
+		Addr:        opts.Addr,
+		Join:        opts.Join,
+		Advertise:   opts.Advertise,
+		ID:          opts.ID,
+		Parallelism: opts.Parallelism,
+		Logf:        opts.Logf,
+		OnListen:    opts.OnListen,
+	})
+	if err != nil {
+		return fmt.Errorf("hybridmem: %w", err)
 	}
 	return nil
 }
