@@ -8,10 +8,12 @@ package hybridmem
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"hybridmem/internal/cluster"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
 
@@ -198,6 +200,50 @@ func BenchmarkDistributedSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStoreWarmSweep measures the tiered result store's payoff on
+// a repeated sweep. The cold sub-benchmark simulates every run of a
+// Fig. 2-style sweep into a disk-backed store (per-iteration seeds keep
+// it cold); the warm-disk sub-benchmark resolves the identical sweep
+// through a fresh runner — empty memo, so every result comes from the
+// store's disk tier — and asserts that not a single simulation ran.
+// Comparing the two is the store's speedup on repeated work.
+func BenchmarkStoreWarmSweep(b *testing.B) {
+	bench := func(warm bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			st, err := store.Open(store.Options{Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if warm {
+				r := sweepBenchRunner(1, 1)
+				r.Store = st
+				if t, _ := exp.Fig2(r); len(t.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+				b.ResetTimer()
+			}
+			var sims atomic.Uint64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i + 2)
+				if warm {
+					seed = 1
+				}
+				r := sweepBenchRunner(1, seed)
+				r.Store = st
+				r.SimCounter = &sims
+				if t, _ := exp.Fig2(r); len(t.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+			if warm && sims.Load() != 0 {
+				b.Fatalf("warm sweep executed %d simulations, want 0", sims.Load())
+			}
+		}
+	}
+	b.Run("cold", bench(false))
+	b.Run("warm-disk", bench(true))
 }
 
 // BenchmarkRunAllParallel exercises the public sweep API end to end.

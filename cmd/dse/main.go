@@ -54,6 +54,7 @@ func run() int {
 	maxvals := flag.Int("maxvals", 12, "max enumerated values per integer parameter")
 	ubound := flag.Int("ubound", 0, "upper bound substituted for parameters declared unbounded above (0: refuse to enumerate them)")
 	maxBatches := flag.Int("maxbatches", 0, "pause after this many batches (0: run to completion); combine with -checkpoint to time-slice a search")
+	storeDir := flag.String("store", "", "persistent result-store directory: previously simulated candidate runs are reused across searches (empty: no reuse; never changes results)")
 	checkpoint := flag.String("checkpoint", "", "JSON state file, rewritten atomically after every batch")
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of starting fresh")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of a Markdown table")
@@ -104,6 +105,7 @@ func run() int {
 		ScreenBudget:       *screenBudget,
 		Parallelism:        *parallel,
 		LoopbackRunners:    *runners,
+		StoreDir:           *storeDir,
 		MaxPerParam:        *maxvals,
 		UnboundedMax:       *ubound,
 		MaxBatches:         *maxBatches,

@@ -36,6 +36,7 @@ import (
 	"hybridmem"
 	"hybridmem/internal/api"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/store"
 )
 
 func main() {
@@ -56,9 +57,19 @@ func run() int {
 	ratio := flag.Int("ratio", 1, "NM:FM capacity ratio in sixteenths for -runjson/-sweepjson (1, 2 or 4)")
 	runJSON := flag.String("runjson", "", "run one DESIGN@WORKLOAD and print the shared JSON result encoding, then exit")
 	sweepJSON := flag.String("sweepjson", "", "run a D1,D2,...@W1,W2,... sweep and print the shared JSON result encoding, then exit")
+	storeDir := flag.String("store", "", "persistent result-store directory: previously simulated runs are reused across invocations (empty: no reuse)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(store.Options{Dir: *storeDir}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -95,7 +106,7 @@ func run() int {
 		return 0
 	}
 	if *runJSON != "" || *sweepJSON != "" {
-		if err := emitJSON(*runJSON, *sweepJSON, *scale, *ratio, *instr, *seed, *parallel); err != nil {
+		if err := emitJSON(*runJSON, *sweepJSON, *scale, *ratio, *instr, *seed, *parallel, st); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 1
 		}
@@ -112,6 +123,7 @@ func run() int {
 	r.Scale = *scale
 	r.Seed = *seed
 	r.Parallelism = *parallel
+	r.Store = st
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*runSel, ",") {
@@ -229,7 +241,7 @@ func run() int {
 // emitJSON runs the -runjson or -sweepjson selection through the same
 // engine path the server uses and prints the shared wire document —
 // the byte-identical CLI counterpart CI diffs server responses against.
-func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, parallel int) error {
+func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, parallel int, st *store.Store) error {
 	sel := runSel
 	if sel == "" {
 		sel = sweepSel
@@ -250,7 +262,7 @@ func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, par
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	r := &exp.Runner{Scale: scale, InstrPerCore: instr, Seed: seed, Parallelism: parallel}
+	r := &exp.Runner{Scale: scale, InstrPerCore: instr, Seed: seed, Parallelism: parallel, Store: st}
 	specs, err := exp.SweepSpecsByName(designs, workloads, ratio)
 	if err != nil {
 		return err

@@ -8,6 +8,9 @@
 //	hybridmemd                            # listen on :8080, in-memory
 //	hybridmemd -addr 127.0.0.1:9090
 //	hybridmemd -state /var/lib/hybridmem  # persist jobs, results, checkpoints
+//	hybridmemd -store-dir /var/cache/hybridmem -store-max-bytes 268435456
+//	                                      # tiered result store: repeats served
+//	                                      # from disk across restarts, GC at 256MB
 //
 //	hybridmemd -coordinator               # accept runner nodes, shard jobs
 //	hybridmemd -runner -join http://coordinator:8080
@@ -50,6 +53,8 @@ func main() {
 	state := flag.String("state", "", "state directory for job specs, results and exploration checkpoints (empty: in-memory only)")
 	cacheEntries := flag.Int("cache-entries", 1024, "result-cache entry bound")
 	cacheMB := flag.Int64("cache-mb", 64, "result-cache byte bound, in MB")
+	storeDir := flag.String("store-dir", "", "persistent result-store directory: results are served across restarts without re-simulating (empty: memory cache only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "on-disk result-store byte bound, garbage-collecting least-recently-used entries (0: unbounded)")
 	queue := flag.Int("queue", 64, "async job queue depth")
 	workers := flag.Int("workers", 2, "async job workers")
 	parallel := flag.Int("parallel", 0, "simulations evaluated concurrently per job (0: all CPUs)")
@@ -94,13 +99,15 @@ func main() {
 	var err error
 	if *runner {
 		err = hybridmem.ServeRunner(ctx, hybridmem.RunnerOptions{
-			Addr:        *addr,
-			Join:        *join,
-			Advertise:   *advertise,
-			ID:          *runnerID,
-			Parallelism: *parallel,
-			Logf:        logf,
-			OnListen:    func(addr string) { logf("runner listening on %s", addr) },
+			Addr:          *addr,
+			Join:          *join,
+			Advertise:     *advertise,
+			ID:            *runnerID,
+			Parallelism:   *parallel,
+			StoreDir:      *storeDir,
+			StoreMaxBytes: *storeMaxBytes,
+			Logf:          logf,
+			OnListen:      func(addr string) { logf("runner listening on %s", addr) },
 		})
 	} else {
 		listen := *addr
@@ -112,6 +119,8 @@ func main() {
 			StateDir:                *state,
 			CacheEntries:            *cacheEntries,
 			CacheBytes:              *cacheMB << 20,
+			StoreDir:                *storeDir,
+			StoreMaxBytes:           *storeMaxBytes,
 			QueueDepth:              *queue,
 			Workers:                 *workers,
 			Parallelism:             *parallel,

@@ -7,6 +7,7 @@ import (
 	"hybridmem/internal/api"
 	"hybridmem/internal/cluster"
 	"hybridmem/internal/dse"
+	"hybridmem/internal/store"
 )
 
 // ExploreOptions configures a design-space exploration. The zero value
@@ -58,6 +59,16 @@ type ExploreOptions struct {
 	// affect results — a distributed exploration is byte-identical to a
 	// single-process one.
 	LoopbackRunners int
+	// StoreDir, when non-empty, backs every candidate evaluation with a
+	// persistent result store: run results land in the directory's disk
+	// tier and re-evaluations of work the store has seen — including
+	// across separate explorations and processes — are served from it
+	// without re-simulating. It never changes results; entries are keyed
+	// by the engine and schema versions, so a version bump invalidates
+	// the directory instead of serving stale results.
+	StoreDir string
+	// StoreMaxBytes bounds the disk store; <= 0 means unbounded.
+	StoreMaxBytes int64
 	// MaxPerParam caps the candidate values enumerated per integer
 	// parameter (wide ranges subsample on a geometric ladder); <= 0
 	// means 12.
@@ -198,10 +209,19 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 			})
 		}
 	}
+	var st *store.Store
+	if opts.StoreDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: opts.StoreDir, MaxBytes: opts.StoreMaxBytes})
+		if err != nil {
+			return ExploreResult{}, fmt.Errorf("hybridmem: %w", err)
+		}
+	}
 	var eval dse.Evaluator
 	if opts.LoopbackRunners > 0 {
 		coord := cluster.NewCoordinator(cluster.CoordinatorOptions{
 			LocalParallelism: opts.Parallelism,
+			Store:            st,
 		})
 		coord.AttachLoopback(opts.LoopbackRunners, opts.Parallelism)
 		eval = coord.Evaluator()
@@ -226,6 +246,7 @@ func Explore(ctx context.Context, opts ExploreOptions) (ExploreResult, error) {
 		Resume:             opts.Resume,
 		Progress:           progress,
 		Eval:               eval,
+		Store:              st,
 	})
 	out := ExploreResult{
 		Frontier:  fromPoints(res.Frontier),

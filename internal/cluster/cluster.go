@@ -66,6 +66,8 @@ package cluster
 
 import (
 	"time"
+
+	"hybridmem/internal/store"
 )
 
 // CoordinatorOptions tunes the dispatch plane. The zero value of every
@@ -107,6 +109,14 @@ type CoordinatorOptions struct {
 	// LocalParallelism bounds the in-process fallback executor's
 	// concurrent simulations; <= 0 means GOMAXPROCS.
 	LocalParallelism int
+	// Store, when non-nil, persists completed shard outcomes to its disk
+	// tier and serves warm shards without dispatching them — a batch
+	// re-run after coordinator restart or node loss re-dispatches only
+	// the shards the store has not seen. Loopback runners and the local
+	// fallback executor also consult it at run granularity. Shard keys
+	// fold in the protocol, schema and engine versions, so version bumps
+	// invalidate persisted shards rather than serving stale outcomes.
+	Store *store.Store
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }

@@ -74,6 +74,9 @@ type Stats struct {
 	// LocalShards counts shards executed by the coordinator's local
 	// fallback because no runner was live.
 	LocalShards uint64
+	// ShardsWarm counts shards settled from the result store before
+	// dispatch — persisted outcomes of an earlier identical batch.
+	ShardsWarm uint64
 	// Runners lists the live runners with their in-flight shard counts,
 	// sorted by ID.
 	Runners []RunnerStat
@@ -142,14 +145,15 @@ func (c *Coordinator) Heartbeat(id string) bool {
 
 // AttachLoopback registers n in-process runners executing shards by
 // direct call — the no-network mode tests and benchmarks drive. Each
-// loopback runner gets its own bounded executor, so dispatch,
-// in-flight accounting and stealing behave exactly as with real nodes.
+// loopback runner gets its own bounded executor (sharing the
+// coordinator's store, when configured), so dispatch, in-flight
+// accounting and stealing behave exactly as with real nodes.
 func (c *Coordinator) AttachLoopback(n, parallelism int) {
 	for i := 0; i < n; i++ {
 		c.join(&runnerHandle{
 			id:        fmt.Sprintf("loopback-%d", i+1),
 			addr:      "loopback",
-			transport: loopbackTransport{exec: Exec{Parallelism: parallelism}},
+			transport: loopbackTransport{exec: Exec{Parallelism: parallelism, Store: c.opts.Store}},
 			loopback:  true,
 		})
 	}
@@ -329,6 +333,15 @@ func (c *Coordinator) noteSettled(h *runnerHandle, duplicate bool) {
 	} else {
 		c.stats.ShardsCompleted++
 	}
+}
+
+func (c *Coordinator) noteWarmShards(n int) {
+	if n == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.ShardsWarm += uint64(n)
 }
 
 func (c *Coordinator) noteFailed(h *runnerHandle, retried bool) {

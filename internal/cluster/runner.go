@@ -10,11 +10,13 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hybridmem/internal/api"
 	"hybridmem/internal/config"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
 
@@ -32,6 +34,13 @@ type Exec struct {
 	// Parallelism bounds concurrent simulations per shard; <= 0 means
 	// GOMAXPROCS.
 	Parallelism int
+	// Store, when non-nil, lets the per-shard runners reuse previously
+	// simulated run results from its disk tier and persist new ones, so
+	// a runner node answers repeated shards without re-simulating.
+	Store *store.Store
+	// SimCounter, when non-nil, counts actual engine executions (store
+	// and memo hits excluded).
+	SimCounter *atomic.Uint64
 }
 
 // RunShard executes one shard request and returns outcomes in run
@@ -47,6 +56,8 @@ func (e Exec) RunShard(ctx context.Context, req ShardRequest) (ShardResponse, er
 		InstrPerCore: req.Config.InstrPerCore,
 		Seed:         req.Config.Seed,
 		Parallelism:  e.Parallelism,
+		Store:        e.Store,
+		SimCounter:   e.SimCounter,
 	}
 	resp := ShardResponse{Proto: ProtoVersion, Shard: req.Shard, Runs: make([]RunOutcome, len(req.Runs))}
 	specs := make([]exp.RunSpec, len(req.Runs))
@@ -110,6 +121,13 @@ type NodeOptions struct {
 	// Parallelism bounds concurrent simulations per shard; <= 0 means
 	// GOMAXPROCS.
 	Parallelism int
+	// StoreDir, when non-empty, gives this runner a persistent result
+	// store: run results land in the directory's disk tier and repeated
+	// shard work — including work re-dispatched after the node rejoins —
+	// is answered from it without re-simulating.
+	StoreDir string
+	// StoreMaxBytes bounds the on-disk store; <= 0 means unbounded.
+	StoreMaxBytes int64
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 	// OnListen, when non-nil, is called with the bound listen address
@@ -154,9 +172,18 @@ func ServeNode(ctx context.Context, opts NodeOptions) error {
 	if opts.OnListen != nil {
 		opts.OnListen(ln.Addr().String())
 	}
+	exec := Exec{Parallelism: opts.Parallelism}
+	if opts.StoreDir != "" {
+		st, err := store.Open(store.Options{Dir: opts.StoreDir, MaxBytes: opts.StoreMaxBytes})
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("cluster: runner store: %w", err)
+		}
+		exec.Store = st
+	}
 	n := &node{
 		opts:   opts,
-		exec:   Exec{Parallelism: opts.Parallelism},
+		exec:   exec,
 		client: &http.Client{Timeout: 10 * time.Second},
 	}
 	srv := &http.Server{Handler: n.mux(), BaseContext: func(net.Listener) context.Context { return ctx }}

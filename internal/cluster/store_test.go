@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"hybridmem/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestWarmStoreServesShardsWithoutDispatch pins the coordinator side of
+// the result store: shard outcomes persisted by one batch are served to
+// an identical later batch — across a coordinator restart — without any
+// dispatch at all. The warm coordinator has no runners and no local
+// fallback, so the test would time out rather than pass if anything
+// were dispatched.
+func TestWarmStoreServesShardsWithoutDispatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg, runs := testConfig(), testRuns()
+
+	c1 := NewCoordinator(CoordinatorOptions{ShardSize: 2, Store: openStore(t, dir)})
+	c1.AttachLoopback(2, 1)
+	outs1, err := c1.Run(context.Background(), cfg, runs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c1.Stats().ShardsWarm; got != 0 {
+		t.Fatalf("cold batch settled %d warm shards, want 0", got)
+	}
+
+	// A fresh coordinator over a fresh store handle on the same
+	// directory: every shard is warm, nothing is dispatched, and the
+	// merged document is byte-identical.
+	c2 := NewCoordinator(CoordinatorOptions{ShardSize: 2, Store: openStore(t, dir)})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var progressed bool
+	outs2, err := c2.Run(ctx, cfg, runs, func(done, total int) {
+		progressed = true
+		if done != len(runs) || total != len(runs) {
+			t.Errorf("warm progress (%d, %d), want (%d, %d)", done, total, len(runs), len(runs))
+		}
+	})
+	if err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+	if !progressed {
+		t.Error("warm batch reported no progress")
+	}
+	if !bytes.Equal(outcomeSweepBytes(t, outs2), outcomeSweepBytes(t, outs1)) {
+		t.Fatal("warm batch document differs from cold")
+	}
+	st := c2.Stats()
+	if st.ShardsDispatched != 0 {
+		t.Fatalf("warm batch dispatched %d shards, want 0", st.ShardsDispatched)
+	}
+	if want := uint64(len(runs)+1) / 2; st.ShardsWarm != want {
+		t.Fatalf("ShardsWarm = %d, want %d", st.ShardsWarm, want)
+	}
+}
+
+// TestWarmStoreRedispatchesOnlyColdShards extends a previously-run batch
+// with new runs: the prefix shards are served from the store and only
+// the new tail is dispatched — the warm re-dispatch that makes recovery
+// after node loss cheap.
+func TestWarmStoreRedispatchesOnlyColdShards(t *testing.T) {
+	dir := t.TempDir()
+	cfg, runs := testConfig(), testRuns()
+
+	c1 := NewCoordinator(CoordinatorOptions{ShardSize: 2, Store: openStore(t, dir)})
+	c1.AttachLoopback(2, 1)
+	if _, err := c1.Run(context.Background(), cfg, runs, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	extended := append(append([]Run(nil), runs...),
+		Run{Design: "HYBRID2", Workload: "namd", Ratio16: 1},
+		Run{Design: "HYBRID2", Workload: "xz", Ratio16: 1},
+	)
+	c2 := NewCoordinator(CoordinatorOptions{ShardSize: 2, Store: openStore(t, dir)})
+	c2.AttachLoopback(1, 1)
+	outs, err := c2.Run(context.Background(), cfg, extended, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(extended) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(extended))
+	}
+	for i, o := range outs {
+		if o.Err != "" {
+			t.Fatalf("run %d failed: %s", i, o.Err)
+		}
+	}
+	// The full prefix shards stay warm; the last original shard [14,15)
+	// is re-cut as [14,16) by the extension, so it and the new tail are
+	// cold and dispatched.
+	st := c2.Stats()
+	if want := uint64(len(runs) / 2); st.ShardsWarm != want {
+		t.Fatalf("ShardsWarm = %d, want %d", st.ShardsWarm, want)
+	}
+	if st.ShardsDispatched == 0 {
+		t.Fatal("extended batch dispatched nothing; the new shards should be cold")
+	}
+
+	// A different seed is different work: nothing may come back warm.
+	cold := cfg
+	cold.Seed = 7
+	c3 := NewCoordinator(CoordinatorOptions{ShardSize: 2, Store: openStore(t, dir)})
+	c3.AttachLoopback(1, 1)
+	if _, err := c3.Run(context.Background(), cold, runs[:2], nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.Stats().ShardsWarm; got != 0 {
+		t.Fatalf("seed change still settled %d warm shards", got)
+	}
+}

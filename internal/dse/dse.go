@@ -76,11 +76,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"hybridmem/internal/config"
 	"hybridmem/internal/design"
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
 	"hybridmem/internal/exp"
+	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
 
@@ -143,6 +145,17 @@ type Options struct {
 	// part of the checkpoint fingerprint: local and distributed runs of
 	// the same search share checkpoints interchangeably.
 	Eval Evaluator
+	// Store, when non-nil, backs the search's runners with the shared
+	// content-addressed result store (internal/store): evaluations whose
+	// runs a past search — or a sweep, or another process sharing the
+	// store directory — already simulated are recalled from disk, so
+	// overlapping searches cost near zero. Like Eval, the store is not
+	// part of the checkpoint fingerprint: it changes where results come
+	// from, never what they are.
+	Store *store.Store
+	// SimCounter, when non-nil, counts simulations actually executed
+	// (store and memo hits excluded), threaded through to every runner.
+	SimCounter *atomic.Uint64
 	// Checkpoint is the state-file path, rewritten atomically after
 	// every round; empty disables checkpointing. Resume continues from
 	// an existing checkpoint instead of starting fresh.
@@ -397,6 +410,8 @@ func newSearcher(opts Options) (*searcher, error) {
 		InstrPerCore: opts.InstrPerCore,
 		Seed:         opts.SimSeed,
 		Parallelism:  opts.Parallelism,
+		Store:        opts.Store,
+		SimCounter:   opts.SimCounter,
 	}
 	if s.screening() {
 		s.screenSeen = map[string]bool{}
@@ -405,6 +420,8 @@ func newSearcher(opts Options) (*searcher, error) {
 			InstrPerCore: opts.ScreenInstrPerCore,
 			Seed:         opts.SimSeed,
 			Parallelism:  opts.Parallelism,
+			Store:        opts.Store,
+			SimCounter:   opts.SimCounter,
 		}
 	}
 	return s, nil

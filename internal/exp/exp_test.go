@@ -25,7 +25,7 @@ func TestRunnerMemoizes(t *testing.T) {
 	if a != b {
 		t.Fatal("memoized result differs")
 	}
-	if len(r.cache) == 0 {
+	if r.MemoStats().Entries == 0 {
 		t.Fatal("no results cached")
 	}
 }
@@ -34,9 +34,9 @@ func TestBaselineSharedAcrossRatios(t *testing.T) {
 	r := tiny()
 	wl := r.Workloads()[0]
 	r.Result(wl, "Baseline", 1)
-	before := len(r.cache)
+	before := r.MemoStats().Entries
 	r.Result(wl, "Baseline", 4) // must not add a second entry
-	if len(r.cache) != before {
+	if r.MemoStats().Entries != before {
 		t.Fatal("baseline re-run for a different NM ratio")
 	}
 }

@@ -155,8 +155,8 @@ func TestSingleflightCoalesces(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if len(r.cache) != 1 {
-		t.Fatalf("%d cache entries after %d concurrent calls for one key", len(r.cache), callers)
+	if n := r.MemoStats().Entries; n != 1 {
+		t.Fatalf("%d cache entries after %d concurrent calls for one key", n, callers)
 	}
 	for i := 1; i < callers; i++ {
 		if results[i] != results[0] {

@@ -60,8 +60,8 @@ func TestMalformedParamsFailAtParse(t *testing.T) {
 			t.Errorf("%s: error %q did not come from the parser", name, err)
 		}
 	}
-	if len(r.cache) != 0 {
-		t.Fatalf("%d malformed runs were cached", len(r.cache))
+	if n := r.MemoStats().Entries; n != 0 {
+		t.Fatalf("%d malformed runs were cached", n)
 	}
 }
 

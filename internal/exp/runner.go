@@ -17,16 +17,19 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hybridmem/internal/config"
 	"hybridmem/internal/design"
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
 	"hybridmem/internal/sim"
+	"hybridmem/internal/store"
 	"hybridmem/internal/trace"
 	"hybridmem/internal/workload"
 )
@@ -55,19 +58,41 @@ type Runner struct {
 	// TraceWindow bounds the per-core lookahead of streaming trace
 	// replay, in records; <= 0 means trace.DefaultWindow.
 	TraceWindow int
+	// Store, when non-nil, persists every completed run (and recalls
+	// past ones) through the shared content-addressed result store: a
+	// run found on disk is decoded instead of simulated, and runs this
+	// runner executes become disk hits for every later runner — across
+	// restarts and across processes sharing the directory. Keys cover
+	// every knob above (see store.RunKey), so a store can safely back
+	// runners with different configurations.
+	Store *store.Store
+	// MemoEntries bounds the in-memory memo cache, which previously
+	// grew without limit over a long-lived server or coordinator
+	// process; <= 0 means 4096 entries. Evicted runs re-resolve through
+	// the store's disk tier (or re-simulate) with identical results.
+	MemoEntries int
+	// SimCounter, when non-nil, is incremented for every simulation the
+	// runner actually executes — not for memo or store hits — so
+	// serving layers can assert and report how much engine work a
+	// request really cost.
+	SimCounter *atomic.Uint64
 
-	mu    sync.Mutex
-	cache map[string]*runFuture
+	mu     sync.Mutex
+	memo   *store.LRU[memoVal]
+	flight *store.Flight[memoVal]
 }
 
-// runFuture is one memoized run: the first caller executes the simulation
-// under the Once, every concurrent duplicate blocks on the same Once and
-// then reads the settled result — a singleflight per cache key.
-type runFuture struct {
-	once sync.Once
-	res  sim.Result
-	err  error
+// memoVal is one settled run: its result or its error, memoized
+// together exactly as the old per-key future retained them.
+type memoVal struct {
+	res sim.Result
+	err error
 }
+
+// defaultMemoEntries bounds the memo when MemoEntries is unset: large
+// enough for the full evaluation's cross product, small enough that a
+// long-lived server can never grow without limit.
+const defaultMemoEntries = 4096
 
 // NewRunner returns a runner at the default scale and instruction budget.
 func NewRunner() *Runner {
@@ -104,6 +129,9 @@ func (r *Runner) workers() int {
 
 // clone returns a runner with the same knobs but its own memo cache —
 // used by studies that vary a knob (seed, prefetcher) per sub-sweep.
+// The persistent store and the simulation counter are shared: store
+// keys cover every knob, so sub-sweeps reuse and contribute entries
+// safely.
 func (r *Runner) clone() *Runner {
 	return &Runner{
 		Scale:        r.Scale,
@@ -112,6 +140,9 @@ func (r *Runner) clone() *Runner {
 		Prefetch:     r.Prefetch,
 		Subset:       r.Subset,
 		Parallelism:  r.Parallelism,
+		Store:        r.Store,
+		MemoEntries:  r.MemoEntries,
+		SimCounter:   r.SimCounter,
 	}
 }
 
@@ -131,20 +162,33 @@ type RunSpec struct {
 	Ratio16  int
 }
 
-// future returns the singleflight slot for a run, creating it if absent.
-func (r *Runner) future(wl workload.Spec, designName string, ratio16 int) *runFuture {
-	key := fmt.Sprintf("%s|%s|%d|%d|%v", wl.Name, designName, ratio16, r.Seed, r.Prefetch)
+// memoState returns the runner's memo cache and singleflight group,
+// creating them on first use.
+func (r *Runner) memoState() (*store.LRU[memoVal], *store.Flight[memoVal]) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.cache == nil {
-		r.cache = make(map[string]*runFuture)
+	if r.memo == nil {
+		n := r.MemoEntries
+		if n <= 0 {
+			n = defaultMemoEntries
+		}
+		r.memo = store.NewLRU[memoVal](n, 0, nil)
+		r.flight = store.NewFlight[memoVal]()
 	}
-	f, ok := r.cache[key]
-	if !ok {
-		f = new(runFuture)
-		r.cache[key] = f
-	}
-	return f
+	return r.memo, r.flight
+}
+
+// MemoStats snapshots the in-memory memo cache's counters — test and
+// metrics visibility into the bounded tier.
+func (r *Runner) MemoStats() store.LRUStats {
+	memo, _ := r.memoState()
+	return memo.Stats()
+}
+
+// runKey is the canonical store key of one (already ratio-normalized)
+// run of this runner.
+func (r *Runner) runKey(wl workload.Spec, designName string, ratio16 int) string {
+	return store.RunKey(designName, wl.Name, ratio16, r.Scale, r.InstrPerCore, r.Seed, r.Prefetch)
 }
 
 // ResultErr runs (or recalls) one workload on one design at an NM ratio.
@@ -152,7 +196,10 @@ func (r *Runner) future(wl workload.Spec, designName string, ratio16 int) *runFu
 // cached or simulated, so malformed names and out-of-range parameters
 // fail here as parse errors. Duplicate in-flight runs coalesce:
 // concurrent callers of the same (workload, design, ratio) block on one
-// simulation and share its result.
+// simulation and share its result. With a Store attached, a run found
+// (and verified) in the store's disk tier is decoded instead of
+// simulated, and completed simulations are persisted for every future
+// runner sharing the store.
 func (r *Runner) ResultErr(wl workload.Spec, designName string, ratio16 int) (sim.Result, error) {
 	spec, err := design.Parse(designName)
 	if err != nil {
@@ -161,26 +208,52 @@ func (r *Runner) ResultErr(wl workload.Spec, designName string, ratio16 int) (si
 	if !spec.Info.NeedsNM {
 		ratio16 = 1 // no NM: one run serves all ratios
 	}
-	f := r.future(wl, designName, ratio16)
-	f.once.Do(func() {
+	key := r.runKey(wl, designName, ratio16)
+	memo, flight := r.memoState()
+	if v, ok := memo.Get(key); ok {
+		return v.res, v.err
+	}
+	v, _, _ := flight.Do(key, func() (v memoVal, _ error) {
+		// Losing a memo race is cheaper than re-simulating: re-check
+		// from inside the slot before touching disk or the engine.
+		if v, ok := memo.Peek(key); ok {
+			return v, nil
+		}
+		if data, ok := r.Store.GetDisk(key); ok {
+			var res sim.Result
+			if err := json.Unmarshal(data, &res); err == nil {
+				return memoVal{res: res}, nil
+			}
+			// Undecodable (a record written before a layout change that
+			// forgot to bump the engine version): re-simulate.
+		}
 		// A panic here (e.g. from the simulation itself) must neither
-		// kill a worker goroutine nor poison the Once into replaying a
+		// kill a worker goroutine nor poison the memo into replaying a
 		// zero result: settle it as this key's error. Construction-time
 		// panics are already converted to errors by Spec.Build.
 		defer func() {
 			if p := recover(); p != nil {
-				f.err = fmt.Errorf("exp: run %s/%s: %v", wl.Name, designName, p)
+				v = memoVal{err: fmt.Errorf("exp: run %s/%s: %v", wl.Name, designName, p)}
 			}
 		}()
 		sys := r.system(ratio16)
 		ms, nm, fm, err := spec.Build(sys)
 		if err != nil {
-			f.err = err
-			return
+			return memoVal{err: err}, nil
 		}
-		f.res = sim.Run(wl, ms, nm, fm, sys)
+		if r.SimCounter != nil {
+			r.SimCounter.Add(1)
+		}
+		res := sim.Run(wl, ms, nm, fm, sys)
+		if r.Store != nil {
+			if data, err := json.Marshal(res); err == nil {
+				r.Store.PutDisk(key, data)
+			}
+		}
+		return memoVal{res: res}, nil
 	})
-	return f.res, f.err
+	memo.Put(key, v)
+	return v.res, v.err
 }
 
 // ResultErrCtx is ResultErr with cancellation: a canceled context fails
@@ -440,6 +513,9 @@ func (r *Runner) RunTrace(name string, rd io.Reader, designName string, ratio16,
 	ms, nm, fm, err := spec.Build(sys)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if r.SimCounter != nil {
+		r.SimCounter.Add(1)
 	}
 	res = sim.RunSources(name, srcs, mlp, ms, nm, fm, sys)
 	// Per-core sources signal stream problems only as an early end of

@@ -479,7 +479,7 @@ func (s *Server) recoverJobs() error {
 			j.state = jobDone
 			j.result = result
 			j.finished = time.Now()
-			s.cache.put(id, result)
+			s.store.Put(id, result)
 			s.jobs.adopt(j)
 			continue
 		}

@@ -65,15 +65,28 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m := s.metrics
-	cs := s.cache.stats()
+	cs := s.store.Stats()
 	fmt.Fprintf(w, "hybridmem_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 	fmt.Fprintf(w, "hybridmem_draining %d\n", boolGauge(s.draining.Load()))
-	fmt.Fprintf(w, "hybridmem_cache_hits_total %d\n", cs.hits)
-	fmt.Fprintf(w, "hybridmem_cache_misses_total %d\n", cs.misses)
-	fmt.Fprintf(w, "hybridmem_cache_entries %d\n", cs.entries)
-	fmt.Fprintf(w, "hybridmem_cache_bytes %d\n", cs.bytes)
+	// The hybridmem_cache_* family is the store's memory tier, keeping
+	// the names stable across the move into internal/store.
+	fmt.Fprintf(w, "hybridmem_cache_hits_total %d\n", cs.MemHits)
+	fmt.Fprintf(w, "hybridmem_cache_misses_total %d\n", cs.MemMisses)
+	fmt.Fprintf(w, "hybridmem_cache_evictions_total %d\n", cs.MemEvictions)
+	fmt.Fprintf(w, "hybridmem_cache_entries %d\n", cs.MemEntries)
+	fmt.Fprintf(w, "hybridmem_cache_bytes %d\n", cs.MemBytes)
 	fmt.Fprintf(w, "hybridmem_cache_capacity_bytes %d\n", s.opts.CacheBytes)
 	fmt.Fprintf(w, "hybridmem_cache_capacity_entries %d\n", s.opts.CacheEntries)
+	if s.store.HasDisk() {
+		fmt.Fprintf(w, "hybridmem_store_disk_hits_total %d\n", cs.DiskHits)
+		fmt.Fprintf(w, "hybridmem_store_disk_misses_total %d\n", cs.DiskMisses)
+		fmt.Fprintf(w, "hybridmem_store_disk_evictions_total %d\n", cs.DiskEvictions)
+		fmt.Fprintf(w, "hybridmem_store_corrupt_discarded_total %d\n", cs.DiskCorrupt)
+		fmt.Fprintf(w, "hybridmem_store_disk_entries %d\n", cs.DiskEntries)
+		fmt.Fprintf(w, "hybridmem_store_disk_bytes %d\n", cs.DiskBytes)
+		fmt.Fprintf(w, "hybridmem_store_disk_capacity_bytes %d\n", s.opts.StoreMaxBytes)
+	}
+	fmt.Fprintf(w, "hybridmem_sims_total %d\n", s.sims.Load())
 	fmt.Fprintf(w, "hybridmem_singleflight_shared_total %d\n", m.flightShared.Load())
 	fmt.Fprintf(w, "hybridmem_inflight_sims %d\n", m.inflightSims.Load())
 	fmt.Fprintf(w, "hybridmem_jobs_queue_depth %d\n", len(s.jobs.queue))
@@ -93,6 +106,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "hybridmem_cluster_shards_retried_total %d\n", st.ShardsRetried)
 		fmt.Fprintf(w, "hybridmem_cluster_duplicates_dropped_total %d\n", st.DuplicatesDropped)
 		fmt.Fprintf(w, "hybridmem_cluster_local_shards_total %d\n", st.LocalShards)
+		fmt.Fprintf(w, "hybridmem_cluster_shards_warm_total %d\n", st.ShardsWarm)
 		for _, rs := range st.Runners {
 			fmt.Fprintf(w, "hybridmem_cluster_runner_inflight{runner=%q} %d\n", rs.ID, rs.InFlight)
 			fmt.Fprintf(w, "hybridmem_cluster_runner_shards_total{runner=%q} %d\n", rs.ID, rs.Dispatched)

@@ -11,12 +11,18 @@
 // (internal/api), the design/workload selection and the full simulation
 // configuration. The fingerprint drives three layers of deduplication:
 //
-//   - an LRU result cache (bounded by entries and by bytes, with
-//     hit/miss counters) serves repeats without touching the engines;
+//   - the tiered result store (internal/store: a memory LRU over an
+//     optional checksummed on-disk tier) serves repeats without
+//     touching the engines — across restarts when a store directory is
+//     configured;
 //   - a singleflight layer collapses concurrent identical in-flight
 //     requests into one simulation whose result every caller shares;
 //   - the job queue reuses the fingerprint as the job ID, so identical
 //     sweeps or explorations submitted twice are one job.
+//
+// Below the document level, every runner the server creates shares the
+// same store, so even a novel sweep reuses the individual runs past
+// requests already simulated.
 //
 // Results are deterministic (same fingerprint, same bytes — the property
 // the cache depends on), and the encoded documents are the shared wire
@@ -80,16 +86,33 @@ import (
 	"hybridmem/internal/dse"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/sim"
+	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
 
 // Options configures a Server. The zero value of every field has a
 // usable default.
 type Options struct {
-	// CacheEntries and CacheBytes bound the result cache; <= 0 means
-	// 1024 entries and 64 MB.
+	// CacheEntries and CacheBytes bound the result store's memory tier;
+	// <= 0 means 1024 entries and 64 MB.
 	CacheEntries int
 	CacheBytes   int64
+	// Store, when non-nil, is a pre-opened result store shared with
+	// other components (hybridmem.Serve opens one store for the server
+	// and its cluster coordinator). When nil, New opens a store from
+	// CacheEntries/CacheBytes and, if StoreDir is set, a disk tier
+	// there.
+	Store *store.Store
+	// StoreDir enables the result store's disk tier: result documents
+	// and per-run records persist there, content-addressed and
+	// checksummed, and repeats are served across restarts — and across
+	// any processes sharing the directory — without re-simulating.
+	// Empty keeps the store memory-only. Ignored when Store is set.
+	StoreDir string
+	// StoreMaxBytes bounds the disk tier; beyond it the least-recently
+	// used entries are garbage-collected. <= 0 means unbounded. Ignored
+	// when Store is set.
+	StoreMaxBytes int64
 	// QueueDepth bounds queued-but-not-running jobs (<= 0 means 64);
 	// a full queue rejects submissions with 503 rather than blocking.
 	QueueDepth int
@@ -175,13 +198,17 @@ func (o Options) withDefaults() Options {
 // Handler() over any net/http server, and call Shutdown to drain.
 type Server struct {
 	opts     Options
-	cache    *resultCache
-	flight   *flight
+	store    *store.Store
+	flight   *store.Flight[[]byte]
 	jobs     *jobManager
 	metrics  *metrics
 	mux      *http.ServeMux
 	draining atomic.Bool
 	syncSem  chan struct{} // bounds inline simulations (/v1/run, /v1/replay)
+	// sims counts engine simulations actually executed on behalf of
+	// this server — memo and store hits don't count — wired as the
+	// SimCounter of every runner the server creates.
+	sims atomic.Uint64
 
 	// Execution seams. Tests substitute counting or blocking stand-ins
 	// to pin the concurrency contracts (one simulation per fingerprint,
@@ -195,10 +222,23 @@ type Server struct {
 // directory is configured — recovers persisted jobs from it.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	st := opts.Store
+	if st == nil {
+		var err error
+		st, err = store.Open(store.Options{
+			MemEntries: opts.CacheEntries,
+			MemBytes:   opts.CacheBytes,
+			Dir:        opts.StoreDir,
+			MaxBytes:   opts.StoreMaxBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		opts:    opts,
-		cache:   newResultCache(opts.CacheEntries, opts.CacheBytes),
-		flight:  newFlight(),
+		store:   st,
+		flight:  store.NewFlight[[]byte](),
 		metrics: newMetrics(),
 		syncSem: make(chan struct{}, opts.MaxSyncSims),
 	}
@@ -354,10 +394,14 @@ func (s *Server) releaseSync() { <-s.syncSem }
 // --- fingerprints ---
 
 // versionParts prefixes every fingerprint: a result cached under one
-// engine or schema version can never serve a request under another.
-func versionParts(kind string) []string {
-	return []string{kind, "engine=" + strconv.Itoa(api.EngineVersion), "schema=" + strconv.Itoa(api.SchemaVersion)}
-}
+// engine or schema version can never serve a request under another. The
+// canonical implementation lives with the store so every layer keys the
+// same way.
+func versionParts(kind string) []string { return store.VersionParts(kind) }
+
+// fingerprint is the store's canonical content address, promoted from
+// this package.
+func fingerprint(parts ...string) string { return store.Fingerprint(parts...) }
 
 func cfgParts(c api.Config) []string {
 	return []string{
@@ -408,7 +452,13 @@ func (s *Server) defaultRunOne(designName, workloadName string, cfg api.Config) 
 	if !ok {
 		return sim.Result{}, fmt.Errorf("unknown workload %q", workloadName)
 	}
-	r := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed}
+	r := &exp.Runner{
+		Scale:        cfg.Scale,
+		InstrPerCore: cfg.InstrPerCore,
+		Seed:         cfg.Seed,
+		Store:        s.store,
+		SimCounter:   &s.sims,
+	}
 	return r.ResultErr(wl, designName, cfg.NMRatio16)
 }
 
@@ -418,6 +468,8 @@ func (s *Server) defaultRunSweep(ctx context.Context, designs, workloads []strin
 		InstrPerCore: cfg.InstrPerCore,
 		Seed:         cfg.Seed,
 		Parallelism:  s.opts.Parallelism,
+		Store:        s.store,
+		SimCounter:   &s.sims,
 	}
 	specs, err := exp.SweepSpecsByName(designs, workloads, cfg.NMRatio16)
 	if err != nil {
@@ -445,6 +497,8 @@ func (s *Server) defaultRunExplore(ctx context.Context, req exploreRequest, chec
 		Checkpoint:         checkpoint,
 		Resume:             resume,
 		Progress:           progress,
+		Store:              s.store,
+		SimCounter:         &s.sims,
 	}
 	if s.opts.Cluster != nil {
 		// The search stays on this server (RNG, frontier, checkpoints);
@@ -463,7 +517,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	j.start()
 	var data []byte
 	var err error
-	if cached, ok := s.cache.get(j.ID); ok {
+	if cached, _, ok := s.store.Get(j.ID); ok {
 		data = cached
 	} else {
 		s.metrics.inflightSims.Add(1)
@@ -477,7 +531,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		}
 		s.metrics.inflightSims.Add(-1)
 		if err == nil {
-			s.cache.put(j.ID, data)
+			s.store.Put(j.ID, data)
 		}
 	}
 	if err == nil && s.opts.StateDir != "" {
@@ -698,14 +752,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := runKey(req)
-	if data, ok := s.cache.get(key); ok {
+	if data, _, ok := s.store.Get(key); ok {
 		writeDoc(w, data)
 		return
 	}
-	data, err, shared := s.flight.do(key, func() ([]byte, error) {
+	data, err, shared := s.flight.Do(key, func() ([]byte, error) {
 		// A caller that lost the race against a completed flight sees the
 		// result here without re-simulating.
-		if doc, ok := s.cache.peek(key); ok {
+		if doc, ok := s.store.Peek(key); ok {
 			return doc, nil
 		}
 		if !s.acquireSync() {
@@ -722,7 +776,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		s.cache.put(key, doc)
+		s.store.Put(key, doc)
 		return doc, nil
 	})
 	if shared {
@@ -894,7 +948,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseSync()
-	runner := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed, TraceWindow: window}
+	runner := &exp.Runner{Scale: cfg.Scale, InstrPerCore: cfg.InstrPerCore, Seed: cfg.Seed, TraceWindow: window, SimCounter: &s.sims}
 	s.metrics.inflightSims.Add(1)
 	res, err := runner.RunTrace(name, r.Body, designName, cfg.NMRatio16, mlp)
 	s.metrics.inflightSims.Add(-1)

@@ -20,6 +20,7 @@ import (
 	"hybridmem/internal/dse"
 	"hybridmem/internal/exp"
 	"hybridmem/internal/sim"
+	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
 
@@ -129,7 +130,7 @@ func TestConcurrentIdenticalRunsSimulateOnce(t *testing.T) {
 
 	// A repeat after the flight settled is served from cache: still one
 	// simulation, and the hit counter moved.
-	before := s.cache.stats().hits
+	before := s.store.Stats().MemHits
 	w := postJSON(t, s.Handler(), "/v1/run", quickRun())
 	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), bodies[0]) {
 		t.Fatalf("cached repeat: code %d, body mismatch", w.Code)
@@ -137,57 +138,59 @@ func TestConcurrentIdenticalRunsSimulateOnce(t *testing.T) {
 	if got := sims.Load(); got != 1 {
 		t.Fatalf("cached repeat re-simulated: %d sims", got)
 	}
-	if after := s.cache.stats().hits; after != before+1 {
+	if after := s.store.Stats().MemHits; after != before+1 {
 		t.Fatalf("cache hits %d -> %d, want +1", before, after)
 	}
 }
 
-// TestCacheEvictionRespectsBounds pins the LRU bounds: the byte bound
-// holds at every point, eviction is least-recently-used, and an entry
-// larger than the whole byte budget is refused rather than flushing the
-// cache.
+// TestCacheEvictionRespectsBounds pins the LRU bounds of the store's
+// memory tier as the serve layer uses it: the byte bound holds at every
+// point, eviction is least-recently-used, and an entry larger than the
+// whole byte budget is refused rather than flushing the cache. (The
+// exhaustive tier tests live with internal/store.)
 func TestCacheEvictionRespectsBounds(t *testing.T) {
-	c := newResultCache(100, 100)
+	byteLen := func(b []byte) int64 { return int64(len(b)) }
+	c := store.NewLRU[[]byte](100, 100, byteLen)
 	doc := func(n int) []byte { return bytes.Repeat([]byte{'x'}, n) }
 
-	c.put("a", doc(40))
-	c.put("b", doc(40))
-	if st := c.stats(); st.bytes != 80 || st.entries != 2 {
+	c.Put("a", doc(40))
+	c.Put("b", doc(40))
+	if st := c.Stats(); st.Bytes != 80 || st.Entries != 2 {
 		t.Fatalf("stats %+v after two puts", st)
 	}
 	// Touch "a" so "b" is the LRU victim when "c" overflows the bytes.
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", doc(40))
-	if st := c.stats(); st.bytes > 100 {
-		t.Fatalf("byte bound violated: %d bytes cached, bound 100", st.bytes)
+	c.Put("c", doc(40))
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Fatalf("byte bound violated: %d bytes cached, bound 100", st.Bytes)
 	}
-	if _, ok := c.peek("b"); ok {
+	if _, ok := c.Peek("b"); ok {
 		t.Fatal("LRU entry b survived eviction")
 	}
-	if _, ok := c.peek("a"); !ok {
+	if _, ok := c.Peek("a"); !ok {
 		t.Fatal("recently used entry a was evicted")
 	}
 
 	// Oversized entries are not admitted (and evict nothing).
-	c.put("huge", doc(1000))
-	if _, ok := c.peek("huge"); ok {
+	c.Put("huge", doc(1000))
+	if _, ok := c.Peek("huge"); ok {
 		t.Fatal("entry larger than the byte bound was cached")
 	}
-	if _, ok := c.peek("a"); !ok {
+	if _, ok := c.Peek("a"); !ok {
 		t.Fatal("oversized put evicted existing entries")
 	}
 
 	// Entry-count bound holds independently of bytes.
-	ce := newResultCache(2, 1<<20)
-	ce.put("1", doc(1))
-	ce.put("2", doc(1))
-	ce.put("3", doc(1))
-	if st := ce.stats(); st.entries != 2 {
-		t.Fatalf("entry bound violated: %d entries, bound 2", st.entries)
+	ce := store.NewLRU[[]byte](2, 1<<20, byteLen)
+	ce.Put("1", doc(1))
+	ce.Put("2", doc(1))
+	ce.Put("3", doc(1))
+	if st := ce.Stats(); st.Entries != 2 {
+		t.Fatalf("entry bound violated: %d entries, bound 2", st.Entries)
 	}
-	if _, ok := ce.peek("1"); ok {
+	if _, ok := ce.Peek("1"); ok {
 		t.Fatal("LRU entry 1 survived entry-bound eviction")
 	}
 }

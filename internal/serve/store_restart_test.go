@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"hybridmem/internal/api"
+)
+
+// TestStoreServesAcrossRestarts pins the tentpole property at the serve
+// layer: with a store directory configured, a result computed before a
+// shutdown is served after a restart from the disk tier — zero
+// simulations, byte-identical response — both for synchronous runs and
+// for async sweep jobs, and both survive independently of the job-state
+// directory (the store alone is enough).
+func TestStoreServesAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := newTestServer(t, Options{StoreDir: dir})
+	runRespCold := postJSON(t, s1.Handler(), "/v1/run", quickRun())
+	if runRespCold.Code != http.StatusOK {
+		t.Fatalf("cold run: %d: %s", runRespCold.Code, runRespCold.Body)
+	}
+	sweepReq := sweepRequest{
+		Designs:   []string{"Baseline", "HYBRID2"},
+		Workloads: []string{"lbm"},
+		Config:    api.Config{Scale: 16, NMRatio16: 1, InstrPerCore: 50_000, Seed: 1},
+	}
+	w := postJSON(t, s1.Handler(), "/v1/sweep", sweepReq)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("cold sweep submit: %d: %s", w.Code, w.Body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, s1.Handler(), sub.JobID); st.State != jobDone {
+		t.Fatalf("cold sweep job state %q", st.State)
+	}
+	sweepRespCold := get(s1.Handler(), "/v1/jobs/"+sub.JobID+"/result")
+	if sweepRespCold.Code != http.StatusOK {
+		t.Fatalf("cold sweep result: %d", sweepRespCold.Code)
+	}
+	if got := s1.sims.Load(); got == 0 {
+		t.Fatal("cold server executed no simulations")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server over the same store directory: both requests are
+	// disk hits, never touching the engines.
+	s2 := newTestServer(t, Options{StoreDir: dir})
+	runRespWarm := postJSON(t, s2.Handler(), "/v1/run", quickRun())
+	if runRespWarm.Code != http.StatusOK {
+		t.Fatalf("warm run: %d: %s", runRespWarm.Code, runRespWarm.Body)
+	}
+	if !bytes.Equal(runRespWarm.Body.Bytes(), runRespCold.Body.Bytes()) {
+		t.Fatal("warm run response differs from cold")
+	}
+	w = postJSON(t, s2.Handler(), "/v1/sweep", sweepReq)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("warm sweep submit: %d: %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, s2.Handler(), sub.JobID); st.State != jobDone {
+		t.Fatalf("warm sweep job state %q", st.State)
+	}
+	sweepRespWarm := get(s2.Handler(), "/v1/jobs/"+sub.JobID+"/result")
+	if !bytes.Equal(sweepRespWarm.Body.Bytes(), sweepRespCold.Body.Bytes()) {
+		t.Fatal("warm sweep document differs from cold")
+	}
+	if got := s2.sims.Load(); got != 0 {
+		t.Fatalf("warm server executed %d simulations, want 0", got)
+	}
+	st := s2.store.Stats()
+	if st.DiskHits == 0 {
+		t.Fatal("warm server recorded no disk hits")
+	}
+}

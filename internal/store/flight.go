@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Flight collapses concurrent identical requests into one execution:
+// the first caller of a key runs fn, every concurrent duplicate blocks
+// until it settles and shares its outcome. Unlike the store itself,
+// nothing is retained after the call completes — errors are never
+// served twice.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewFlight returns an empty singleflight group.
+func NewFlight[V any]() *Flight[V] {
+	return &Flight[V]{calls: make(map[string]*flightCall[V])}
+}
+
+// Do runs fn under the key's singleflight slot. shared reports whether
+// this caller piggybacked on another caller's execution.
+func (f *Flight[V]) Do(key string, fn func() (V, error)) (val V, err error, shared bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	// Settle the call even if fn panics (net/http recovers handler
+	// panics per-connection): an unclosed done channel would park every
+	// future identical request forever behind a wedged key. Waiters see
+	// the panic as this call's error; the panic itself still propagates
+	// to the winner.
+	defer func() {
+		p := recover()
+		if p != nil {
+			c.err = fmt.Errorf("singleflight: panic: %v", p)
+		}
+		close(c.done)
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		if p != nil {
+			panic(p)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

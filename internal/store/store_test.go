@@ -1,0 +1,373 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFingerprintDeterministicAndDistinct(t *testing.T) {
+	a := Fingerprint("run", "a", "b")
+	if a != Fingerprint("run", "a", "b") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint length = %d, want 16", len(a))
+	}
+	// NUL separation: part boundaries must not alias.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("part boundaries alias")
+	}
+	if Fingerprint("run", "a") == Fingerprint("sweep", "a") {
+		t.Fatal("kinds alias")
+	}
+}
+
+func TestRunKeyCoversEveryKnob(t *testing.T) {
+	base := RunKey("Hybrid2", "mix1", 2, 1, 1000, 1, false)
+	variants := []string{
+		RunKey("CacheNM", "mix1", 2, 1, 1000, 1, false),
+		RunKey("Hybrid2", "mix2", 2, 1, 1000, 1, false),
+		RunKey("Hybrid2", "mix1", 4, 1, 1000, 1, false),
+		RunKey("Hybrid2", "mix1", 2, 2, 1000, 1, false),
+		RunKey("Hybrid2", "mix1", 2, 1, 2000, 1, false),
+		RunKey("Hybrid2", "mix1", 2, 1, 1000, 2, false),
+		RunKey("Hybrid2", "mix1", 2, 1, 1000, 1, true),
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides with another key", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLRUByteBoundAndOversized(t *testing.T) {
+	c := NewLRU[[]byte](100, 100, func(b []byte) int64 { return int64(len(b)) })
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 30))
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Fatalf("byte bound violated: %d bytes cached, bound 100", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+	c.Put("huge", make([]byte, 200))
+	if _, ok := c.Peek("huge"); ok {
+		t.Fatal("entry larger than the byte bound was cached")
+	}
+}
+
+func TestLRUEntryBoundEvictsOldest(t *testing.T) {
+	c := NewLRU[int](2, 0, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now most recently used
+	c.Put("c", 3)
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("least-recently-used entry was not evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+}
+
+func TestFlightCollapsesConcurrentCalls(t *testing.T) {
+	const callers = 8
+	f := NewFlight[int]()
+	var mu sync.Mutex
+	calls := 0
+	sharedCount := 0
+	var entered atomic.Int32
+	// The winner's fn holds the singleflight slot open until every
+	// caller has announced itself and had a scheduling window to reach
+	// Do, so all of them land on the same in-flight call.
+	fn := func() (int, error) {
+		for entered.Load() < callers {
+			runtime.Gosched()
+		}
+		time.Sleep(25 * time.Millisecond)
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return 42, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			v, err, shared := f.Do("k", fn)
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+			if shared {
+				mu.Lock()
+				sharedCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if sharedCount != callers-1 {
+		t.Fatalf("shared reported by %d callers, want %d", sharedCount, callers-1)
+	}
+}
+
+func TestStoreTieringAndPromotion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k1", []byte("hello"))
+	if data, tier, ok := s.Get("k1"); !ok || tier != TierMem || string(data) != "hello" {
+		t.Fatalf("Get after Put = %q, %v, %v; want mem hit", data, tier, ok)
+	}
+
+	// A second store on the same directory sees only the disk tier.
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, tier, ok := s2.Get("k1")
+	if !ok || tier != TierDisk || string(data) != "hello" {
+		t.Fatalf("cross-instance Get = %q, %v, %v; want disk hit", data, tier, ok)
+	}
+	// Promotion: the disk hit is now in s2's memory tier.
+	if _, tier, ok := s2.Get("k1"); !ok || tier != TierMem {
+		t.Fatalf("promoted Get tier = %v, %v; want mem hit", tier, ok)
+	}
+
+	if _, _, ok := s2.Get("absent"); ok {
+		t.Fatal("absent key reported found")
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.DiskMisses != 1 {
+		t.Fatalf("disk hits/misses = %d/%d, want 1/1", st.DiskHits, st.DiskMisses)
+	}
+}
+
+func TestStoreNilReceiver(t *testing.T) {
+	var s *Store
+	s.Put("k", []byte("v"))
+	s.PutDisk("k", []byte("v"))
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("nil store reported a hit")
+	}
+	if _, ok := s.Peek("k"); ok {
+		t.Fatal("nil store peeked a hit")
+	}
+	if _, ok := s.GetDisk("k"); ok {
+		t.Fatal("nil store disk-hit")
+	}
+	if s.HasDisk() {
+		t.Fatal("nil store has a disk tier")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats = %+v", st)
+	}
+}
+
+func TestDiskGCUnderByteBound(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, MaxBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 300) // ~375 B per file with envelope
+	for i := 0; i < 12; i++ {
+		s.PutDisk(fmt.Sprintf("key%02d", i), payload)
+	}
+	st := s.Stats()
+	if st.DiskBytes > 2048 {
+		t.Fatalf("disk bytes %d exceed bound 2048", st.DiskBytes)
+	}
+	if st.DiskEvictions == 0 {
+		t.Fatal("no GC evictions recorded despite overflow")
+	}
+	// The oldest entries are gone, the newest survive.
+	if _, ok := s.GetDisk("key00"); ok {
+		t.Fatal("oldest entry survived GC")
+	}
+	if _, ok := s.GetDisk("key11"); !ok {
+		t.Fatal("newest entry was GC'd")
+	}
+	// On-disk reality matches the accounting.
+	var total int64
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		info, err := e.Info()
+		if err == nil && strings.HasSuffix(e.Name(), diskExt) {
+			total += info.Size()
+		}
+	}
+	if total > 2048 {
+		t.Fatalf("on-disk bytes %d exceed bound 2048", total)
+	}
+}
+
+func TestDiskGCSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 300)
+	for i := 0; i < 12; i++ {
+		s.PutDisk(fmt.Sprintf("key%02d", i), payload)
+	}
+	// Reopen with a bound: the startup scan must GC down to it.
+	s2, err := Open(Options{Dir: dir, MaxBytes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DiskBytes > 1500 {
+		t.Fatalf("disk bytes %d exceed bound 1500 after reopen", st.DiskBytes)
+	}
+	if _, ok := s2.GetDisk("key11"); !ok {
+		t.Fatal("newest entry was GC'd at reopen")
+	}
+}
+
+func TestDiskCorruptionDiscardedNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutDisk("trunc", []byte("some payload that will be truncated"))
+	s.PutDisk("flip", []byte("some payload that will be bit-flipped"))
+	s.PutDisk("good", []byte("untouched"))
+
+	// Truncate one entry, flip a payload bit in another.
+	truncPath := filepath.Join(dir, "trunc"+diskExt)
+	raw, err := os.ReadFile(truncPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipPath := filepath.Join(dir, "flip"+diskExt)
+	raw, err = os.ReadFile(flipPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x40
+	if err := os.WriteFile(flipPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range []string{"trunc", "flip"} {
+		if _, ok := s.GetDisk(key); ok {
+			t.Fatalf("corrupt entry %q was served", key)
+		}
+		if _, err := os.Stat(filepath.Join(dir, key+diskExt)); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry %q was not deleted (err=%v)", key, err)
+		}
+	}
+	if data, ok := s.GetDisk("good"); !ok || string(data) != "untouched" {
+		t.Fatalf("intact entry misread: %q, %v", data, ok)
+	}
+	st := s.Stats()
+	if st.DiskCorrupt != 2 {
+		t.Fatalf("corrupt discards = %d, want 2", st.DiskCorrupt)
+	}
+	// A re-Put after discard serves again.
+	s.PutDisk("trunc", []byte("fresh"))
+	if data, ok := s.GetDisk("trunc"); !ok || string(data) != "fresh" {
+		t.Fatalf("re-put after discard = %q, %v", data, ok)
+	}
+}
+
+func TestDiskConcurrentWritersOneDirectory(t *testing.T) {
+	dir := t.TempDir()
+	// Two independent store instances (as two processes would have) plus
+	// goroutine concurrency within each.
+	s1, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 32
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := s1
+			if w%2 == 1 {
+				s = s2
+			}
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("key%02d", i)
+				val := []byte(fmt.Sprintf("value-%02d", i))
+				s.PutDisk(key, val)
+				if data, ok := s.GetDisk(key); ok && !bytes.Equal(data, val) {
+					t.Errorf("writer %d read %q for %q", w, data, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every key is readable and correct from both instances and from a
+	// fresh scan.
+	s3, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key%02d", i)
+		want := fmt.Sprintf("value-%02d", i)
+		for name, s := range map[string]*Store{"s1": s1, "s2": s2, "s3": s3} {
+			if data, ok := s.GetDisk(key); !ok || string(data) != want {
+				t.Fatalf("%s: GetDisk(%q) = %q, %v; want %q", name, key, data, ok, want)
+			}
+		}
+	}
+	if st := s3.Stats(); st.DiskEntries != keys {
+		t.Fatalf("fresh scan found %d entries, want %d", st.DiskEntries, keys)
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("v"))
+	s2, _ := Open(Options{Dir: dir})
+	if _, ok := s2.Peek("k"); !ok {
+		t.Fatal("Peek missed a disk entry")
+	}
+	if _, ok := s2.Peek("absent"); ok {
+		t.Fatal("Peek found an absent key")
+	}
+	st := s2.Stats()
+	if st.MemHits != 0 || st.MemMisses != 0 || st.DiskHits != 0 || st.DiskMisses != 0 {
+		t.Fatalf("Peek moved hit/miss counters: %+v", st)
+	}
+	// The disk peek still promoted into memory.
+	if _, tier, ok := s2.Get("k"); !ok || tier != TierMem {
+		t.Fatalf("Get after Peek = tier %v, %v; want mem hit", tier, ok)
+	}
+}

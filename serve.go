@@ -10,6 +10,7 @@ import (
 
 	"hybridmem/internal/cluster"
 	"hybridmem/internal/serve"
+	"hybridmem/internal/store"
 )
 
 // ServeOptions configures the simulation service started by Serve. The
@@ -23,9 +24,22 @@ type ServeOptions struct {
 	// everything in memory.
 	StateDir string
 	// CacheEntries and CacheBytes bound the content-addressed result
-	// cache; <= 0 means 1024 entries and 64 MB.
+	// cache (the result store's memory tier); <= 0 means 1024 entries
+	// and 64 MB.
 	CacheEntries int
 	CacheBytes   int64
+	// StoreDir, when non-empty, adds a persistent disk tier below the
+	// memory cache: result documents and run results are written there
+	// and repeated requests are served from it across restarts, never
+	// re-simulating. In coordinator mode the same store also persists
+	// completed shard outcomes, so batches re-run after node loss or
+	// coordinator restart re-dispatch only cold work. Entries are keyed
+	// by the engine and schema versions, so version bumps invalidate the
+	// directory's contents rather than serving stale results.
+	StoreDir string
+	// StoreMaxBytes bounds the disk tier; least-recently-used entries
+	// are garbage-collected past it. <= 0 means unbounded.
+	StoreMaxBytes int64
 	// QueueDepth bounds queued async jobs (sweeps, explorations); a full
 	// queue answers 503. <= 0 means 64.
 	QueueDepth int
@@ -90,6 +104,22 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 30 * time.Second
 	}
+	// One store serves the whole process: the HTTP layer's document
+	// cache and the coordinator's shard persistence share its tiers, so
+	// every layer sees every other's warm results.
+	var st *store.Store
+	if opts.StoreDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			MemEntries: opts.CacheEntries,
+			MemBytes:   opts.CacheBytes,
+			Dir:        opts.StoreDir,
+			MaxBytes:   opts.StoreMaxBytes,
+		})
+		if err != nil {
+			return fmt.Errorf("hybridmem: %w", err)
+		}
+	}
 	var coord *cluster.Coordinator
 	if opts.Coordinator || opts.ClusterLoopbackRunners > 0 {
 		coord = cluster.NewCoordinator(cluster.CoordinatorOptions{
@@ -99,6 +129,7 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 			RPCTimeout:       opts.ClusterRPCTimeout,
 			LocalFallback:    true,
 			LocalParallelism: opts.Parallelism,
+			Store:            st,
 			Logf:             opts.Logf,
 		})
 		if opts.ClusterLoopbackRunners > 0 {
@@ -106,15 +137,17 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 		}
 	}
 	srv, err := serve.New(serve.Options{
-		CacheEntries: opts.CacheEntries,
-		CacheBytes:   opts.CacheBytes,
-		QueueDepth:   opts.QueueDepth,
-		JobHistory:   opts.JobHistory,
-		Workers:      opts.Workers,
-		Parallelism:  opts.Parallelism,
-		StateDir:     opts.StateDir,
-		Logf:         opts.Logf,
-		Cluster:      coord,
+		CacheEntries:  opts.CacheEntries,
+		CacheBytes:    opts.CacheBytes,
+		Store:         st,
+		StoreMaxBytes: opts.StoreMaxBytes,
+		QueueDepth:    opts.QueueDepth,
+		JobHistory:    opts.JobHistory,
+		Workers:       opts.Workers,
+		Parallelism:   opts.Parallelism,
+		StateDir:      opts.StateDir,
+		Logf:          opts.Logf,
+		Cluster:       coord,
 	})
 	if err != nil {
 		return fmt.Errorf("hybridmem: %w", err)
@@ -189,6 +222,14 @@ type RunnerOptions struct {
 	// Parallelism bounds concurrent simulations per shard; <= 0 means
 	// GOMAXPROCS.
 	Parallelism int
+	// StoreDir, when non-empty, gives the runner a persistent result
+	// store: run results are written to its disk tier and repeated shard
+	// work is answered from it without re-simulating, surviving runner
+	// restarts.
+	StoreDir string
+	// StoreMaxBytes bounds the runner's disk store; <= 0 means
+	// unbounded.
+	StoreMaxBytes int64
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 	// OnListen, when non-nil, is called with the bound listen address
@@ -207,13 +248,15 @@ func ServeRunner(ctx context.Context, opts RunnerOptions) error {
 		return errors.New("hybridmem: ServeRunner needs a coordinator URL to join")
 	}
 	err := cluster.ServeNode(ctx, cluster.NodeOptions{
-		Addr:        opts.Addr,
-		Join:        opts.Join,
-		Advertise:   opts.Advertise,
-		ID:          opts.ID,
-		Parallelism: opts.Parallelism,
-		Logf:        opts.Logf,
-		OnListen:    opts.OnListen,
+		Addr:          opts.Addr,
+		Join:          opts.Join,
+		Advertise:     opts.Advertise,
+		ID:            opts.ID,
+		Parallelism:   opts.Parallelism,
+		StoreDir:      opts.StoreDir,
+		StoreMaxBytes: opts.StoreMaxBytes,
+		Logf:          opts.Logf,
+		OnListen:      opts.OnListen,
 	})
 	if err != nil {
 		return fmt.Errorf("hybridmem: %w", err)
