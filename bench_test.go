@@ -8,11 +8,11 @@ package hybridmem
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 	"testing"
 
 	"hybridmem/internal/cluster"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
@@ -224,7 +224,7 @@ func BenchmarkStoreWarmSweep(b *testing.B) {
 				}
 				b.ResetTimer()
 			}
-			var sims atomic.Uint64
+			var sims obs.Counter
 			for i := 0; i < b.N; i++ {
 				seed := uint64(i + 2)
 				if warm {
@@ -237,8 +237,8 @@ func BenchmarkStoreWarmSweep(b *testing.B) {
 					b.Fatal("empty table")
 				}
 			}
-			if warm && sims.Load() != 0 {
-				b.Fatalf("warm sweep executed %d simulations, want 0", sims.Load())
+			if warm && sims.Value() != 0 {
+				b.Fatalf("warm sweep executed %d simulations, want 0", sims.Value())
 			}
 		}
 	}

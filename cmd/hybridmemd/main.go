@@ -39,7 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +60,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "simulations evaluated concurrently per job (0: all CPUs)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	flightEvents := flag.Int("flight-events", 0, "flight-recorder capacity in trace events, served over /debug/events (0: 4096)")
+	sigquitEvents := flag.Bool("sigquit-events", false, "dump the flight recorder to stderr on SIGQUIT instead of the default stack dump (the process keeps running)")
 
 	coordinator := flag.Bool("coordinator", false, "act as a cluster coordinator: shard sweep/exploration jobs across joined runner nodes")
 	runner := flag.Bool("runner", false, "act as a cluster runner node: execute shards dispatched by the coordinator at -join")
@@ -73,9 +75,9 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 0, "shard RPC deadline (0: 5m)")
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "hybridmemd: ", log.LstdFlags).Printf
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *quiet {
-		logf = func(string, ...any) {}
+		logger = slog.New(slog.DiscardHandler)
 	}
 	if *runner && (*coordinator || *loopback > 0) {
 		fmt.Fprintln(os.Stderr, "hybridmemd: -runner is exclusive with -coordinator/-loopback-runners")
@@ -90,7 +92,7 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		logf("signal received; draining (up to %v)", *drain)
+		logger.Info("signal received; draining", "budget", *drain)
 		// Restore default signal handling so a second signal kills the
 		// process instead of being swallowed while the drain runs.
 		stop()
@@ -106,8 +108,9 @@ func main() {
 			Parallelism:   *parallel,
 			StoreDir:      *storeDir,
 			StoreMaxBytes: *storeMaxBytes,
-			Logf:          logf,
-			OnListen:      func(addr string) { logf("runner listening on %s", addr) },
+			Log:           logger,
+			FlightEvents:  *flightEvents,
+			OnListen:      func(addr string) { logger.Info("runner listening", "addr", addr) },
 		})
 	} else {
 		listen := *addr
@@ -125,8 +128,10 @@ func main() {
 			Workers:                 *workers,
 			Parallelism:             *parallel,
 			DrainTimeout:            *drain,
-			Logf:                    logf,
-			OnListen:                func(addr string) { logf("listening on %s", addr) },
+			Log:                     logger,
+			FlightEvents:            *flightEvents,
+			DumpEventsOnSIGQUIT:     *sigquitEvents,
+			OnListen:                func(addr string) { logger.Info("listening", "addr", addr) },
 			Coordinator:             *coordinator,
 			ClusterLoopbackRunners:  *loopback,
 			ClusterShardSize:        *shardSize,
@@ -139,5 +144,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hybridmemd:", err)
 		os.Exit(1)
 	}
-	logf("drained cleanly")
+	logger.Info("drained cleanly")
 }

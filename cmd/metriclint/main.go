@@ -1,0 +1,63 @@
+// Command metriclint validates Prometheus text exposition scrapes.
+// It applies the pure-Go lint of internal/obs — every sample must
+// belong to a family declared with # HELP and # TYPE, family names
+// must be unique and their samples contiguous, label values correctly
+// escaped, values finite — and, when given more than one scrape of the
+// same target, checks the counter contract across consecutive pairs:
+// no counter (or summary _sum/_count) series may decrease.
+//
+// Usage:
+//
+//	metriclint scrape.txt                 # lint one exposition document
+//	metriclint scrape1.txt scrape2.txt    # lint both + monotonicity 1->2
+//	curl -s $addr/metrics | metriclint -  # read a single scrape from stdin
+//
+// CI scrapes a live server's /metrics twice mid-sweep and feeds the
+// pair through this command, so a malformed family or a counter that
+// ever runs backwards fails the build.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hybridmem/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: metriclint <scrape.txt|-> [scrape2.txt ...]")
+		os.Exit(2)
+	}
+	var prev []byte
+	var prevName string
+	for i, name := range os.Args[1:] {
+		data, err := readScrape(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.Lint(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if i > 0 {
+			if err := obs.LintMonotonic(prev, data); err != nil {
+				fatal(fmt.Errorf("%s -> %s: %w", prevName, name, err))
+			}
+		}
+		prev, prevName = data, name
+	}
+	fmt.Printf("metriclint: %d scrape(s) ok\n", len(os.Args)-1)
+}
+
+func readScrape(name string) ([]byte, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metriclint:", err)
+	os.Exit(1)
+}

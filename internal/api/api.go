@@ -123,6 +123,16 @@ type Explore struct {
 	Batches   int            `json:"batches"`
 }
 
+// Trace is the optional wire trace context of a cluster RPC: the
+// coordinator stamps the shard's span identity onto the request so the
+// runner can continue the same distributed trace. Both fields are
+// omitted entirely when tracing is disabled, keeping the wire bytes
+// identical to an uninstrumented build.
+type Trace struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
 // Table is the top-level document of one experiment artifact (a figure
 // or table of the paper's evaluation) as emitted by cmd/experiments.
 type Table struct {

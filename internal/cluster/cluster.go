@@ -65,8 +65,10 @@
 package cluster
 
 import (
+	"log/slog"
 	"time"
 
+	"hybridmem/internal/obs"
 	"hybridmem/internal/store"
 )
 
@@ -117,8 +119,21 @@ type CoordinatorOptions struct {
 	// fold in the protocol, schema and engine versions, so version bumps
 	// invalidate persisted shards rather than serving stale outcomes.
 	Store *store.Store
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational log records; nil discards
+	// them.
+	Log *slog.Logger
+	// Obs, when non-nil, hooks the coordinator into the shared
+	// observability plane: batches and shards become spans in its
+	// flight recorder, phase timers land in its registry, and events
+	// echoed by remote runners are folded in. Dispatch counters are
+	// published separately via RegisterMetrics (the serving layer calls
+	// it with the registry backing /metrics). nil keeps the coordinator
+	// fully passive.
+	Obs *obs.Obs
+	// SimCounter, when non-nil, counts engine executions performed by
+	// the coordinator's own executors (loopback runners and the local
+	// fallback) — remote nodes count on their own registries.
+	SimCounter *obs.Counter
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -152,8 +167,8 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.FailuresToDrop <= 0 {
 		o.FailuresToDrop = 3
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Log == nil {
+		o.Log = slog.New(slog.DiscardHandler)
 	}
 	return o
 }

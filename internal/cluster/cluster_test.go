@@ -205,19 +205,43 @@ func TestLoopbackExploreByteIdentity(t *testing.T) {
 }
 
 // gateTransport blocks every shard call until the gate channel closes,
-// then executes normally — a deterministic straggler.
+// then executes normally — a deterministic straggler. took (optional) is
+// invoked on entry, before blocking, so a test can observe that the
+// straggler holds a shard.
 type gateTransport struct {
 	inner transport
 	gate  chan struct{}
+	took  func()
 }
 
 func (g gateTransport) runShard(ctx context.Context, req ShardRequest) (ShardResponse, error) {
+	if g.took != nil {
+		g.took()
+	}
 	select {
 	case <-g.gate:
 	case <-ctx.Done():
 		return ShardResponse{}, ctx.Err()
 	}
 	return g.inner.runShard(ctx, req)
+}
+
+// afterTransport delays every shard call until ready closes — how the
+// work-stealing test keeps the fast runner off the queue until the
+// straggler holds a shard, making the steal deterministic instead of a
+// race against goroutine scheduling.
+type afterTransport struct {
+	inner transport
+	ready <-chan struct{}
+}
+
+func (a afterTransport) runShard(ctx context.Context, req ShardRequest) (ShardResponse, error) {
+	select {
+	case <-a.ready:
+	case <-ctx.Done():
+		return ShardResponse{}, ctx.Err()
+	}
+	return a.inner.runShard(ctx, req)
 }
 
 // TestWorkStealing pins the straggler path: a runner that hangs on its
@@ -229,17 +253,26 @@ func TestWorkStealing(t *testing.T) {
 	want := localSweepBytes(t, cfg, runs)
 
 	gate := make(chan struct{})
+	stragglerHolds := make(chan struct{})
 	c := NewCoordinator(CoordinatorOptions{ShardSize: 1, MaxInFlight: 1, MaxSteals: 1})
 	c.join(&runnerHandle{
-		id:        "straggler",
-		addr:      "loopback",
-		transport: gateTransport{inner: loopbackTransport{exec: Exec{Parallelism: 1}}, gate: gate},
-		loopback:  true,
+		id:   "straggler",
+		addr: "loopback",
+		transport: gateTransport{
+			inner: loopbackTransport{exec: Exec{Parallelism: 1}},
+			gate:  gate,
+			took:  sync.OnceFunc(func() { close(stragglerHolds) }),
+		},
+		loopback: true,
 	})
+	// The fast runner waits until the straggler holds a shard before
+	// touching the queue; otherwise it can drain all eight shards before
+	// the straggler's worker is ever scheduled and there is nothing to
+	// steal.
 	c.join(&runnerHandle{
 		id:        "fast",
 		addr:      "loopback",
-		transport: loopbackTransport{exec: Exec{Parallelism: 1}},
+		transport: afterTransport{inner: loopbackTransport{exec: Exec{Parallelism: 1}}, ready: stragglerHolds},
 		loopback:  true,
 	})
 

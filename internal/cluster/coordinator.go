@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hybridmem/internal/dse"
+	"hybridmem/internal/obs"
 )
 
 // transport executes one shard RPC against a runner — HTTP for real
@@ -98,6 +99,54 @@ func NewCoordinator(opts CoordinatorOptions) *Coordinator {
 	}
 }
 
+// RegisterMetrics folds the coordinator's dispatch counters into a
+// registry as scrape-time collectors over Stats() — the registry owns
+// rendering, the coordinator stays the single source of truth. The
+// serving layer calls this once with the registry backing its /metrics;
+// registering the same coordinator on one registry twice panics.
+func (c *Coordinator) RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(c.Stats()) }
+	}
+	r.GaugeFunc("hybridmem_cluster_runners_live", "Currently registered, non-expired runner nodes.",
+		stat(func(s Stats) float64 { return float64(s.RunnersLive) }))
+	r.CounterFunc("hybridmem_cluster_runners_joined_total", "Runner registrations over the coordinator's lifetime.",
+		stat(func(s Stats) float64 { return float64(s.RunnersJoined) }))
+	r.CounterFunc("hybridmem_cluster_runners_dropped_total", "Runners expelled for RPC failures or heartbeat expiry.",
+		stat(func(s Stats) float64 { return float64(s.RunnersDropped) }))
+	r.CounterFunc("hybridmem_cluster_shards_dispatched_total", "Shard dispatch attempts started, steals and retries included.",
+		stat(func(s Stats) float64 { return float64(s.ShardsDispatched) }))
+	r.CounterFunc("hybridmem_cluster_shards_completed_total", "Shards whose first response was accepted.",
+		stat(func(s Stats) float64 { return float64(s.ShardsCompleted) }))
+	r.CounterFunc("hybridmem_cluster_shards_stolen_total", "Speculative re-executions of in-flight shards.",
+		stat(func(s Stats) float64 { return float64(s.ShardsStolen) }))
+	r.CounterFunc("hybridmem_cluster_shards_retried_total", "Shard requeues after a failed dispatch attempt.",
+		stat(func(s Stats) float64 { return float64(s.ShardsRetried) }))
+	r.CounterFunc("hybridmem_cluster_duplicates_dropped_total", "Responses discarded because another execution won the race.",
+		stat(func(s Stats) float64 { return float64(s.DuplicatesDropped) }))
+	r.CounterFunc("hybridmem_cluster_local_shards_total", "Shards executed by the coordinator's local fallback.",
+		stat(func(s Stats) float64 { return float64(s.LocalShards) }))
+	r.CounterFunc("hybridmem_cluster_shards_warm_total", "Shards settled from the result store before dispatch.",
+		stat(func(s Stats) float64 { return float64(s.ShardsWarm) }))
+	runnerSamples := func(f func(RunnerStat) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			st := c.Stats()
+			out := make([]obs.Sample, 0, len(st.Runners))
+			for _, rs := range st.Runners {
+				out = append(out, obs.Sample{Labels: []string{rs.ID}, Value: f(rs)})
+			}
+			return out
+		}
+	}
+	r.GaugeSamplesFunc("hybridmem_cluster_runner_inflight", "Shards currently in flight, per live runner.",
+		[]string{"runner"}, runnerSamples(func(rs RunnerStat) float64 { return float64(rs.InFlight) }))
+	r.CounterSamplesFunc("hybridmem_cluster_runner_shards_total", "Shard dispatches per live runner.",
+		[]string{"runner"}, runnerSamples(func(rs RunnerStat) float64 { return float64(rs.Dispatched) }))
+}
+
 // Options returns the coordinator's resolved options.
 func (c *Coordinator) Options() CoordinatorOptions { return c.opts }
 
@@ -124,7 +173,7 @@ func (c *Coordinator) join(h *runnerHandle) {
 	c.stats.RunnersJoined++
 	active := append([]*dispatcher(nil), c.active...)
 	c.mu.Unlock()
-	c.opts.Logf("cluster: runner %s joined (%s)", h.id, h.addr)
+	c.opts.Log.Info("cluster: runner joined", "runner", h.id, "addr", h.addr)
 	for _, d := range active {
 		d.addRunner(h)
 	}
@@ -153,7 +202,7 @@ func (c *Coordinator) AttachLoopback(n, parallelism int) {
 		c.join(&runnerHandle{
 			id:        fmt.Sprintf("loopback-%d", i+1),
 			addr:      "loopback",
-			transport: loopbackTransport{exec: Exec{Parallelism: parallelism, Store: c.opts.Store}},
+			transport: loopbackTransport{exec: Exec{Parallelism: parallelism, Store: c.opts.Store, SimCounter: c.opts.SimCounter, Obs: c.opts.Obs}},
 			loopback:  true,
 		})
 	}
@@ -173,7 +222,7 @@ func (c *Coordinator) dropRunner(h *runnerHandle, reason string) {
 	c.stats.RunnersDropped++
 	active := append([]*dispatcher(nil), c.active...)
 	c.mu.Unlock()
-	c.opts.Logf("cluster: runner %s dropped: %s", h.id, reason)
+	c.opts.Log.Info("cluster: runner dropped", "runner", h.id, "reason", reason)
 	for _, d := range active {
 		d.wake()
 	}
@@ -263,7 +312,18 @@ func (c *Coordinator) Run(ctx context.Context, cfg Config, runs []Run, progress 
 	if len(runs) == 0 {
 		return nil, nil
 	}
-	return newDispatcher(c, cfg, runs, progress).run(ctx)
+	d := newDispatcher(c, cfg, runs, progress)
+	// The batch span hangs off the caller's span (a serve job, usually)
+	// so a distributed document's timeline reads job -> batch -> shard
+	// -> runner. With tracing off every handle is nil and this is free.
+	sp := obs.SpanFrom(ctx).Child("cluster_batch",
+		obs.Int("runs", int64(len(runs))), obs.Int("shards", int64(len(d.shards))))
+	if sp == nil {
+		sp = c.opts.Obs.Tracer().StartSpan("cluster_batch",
+			obs.Int("runs", int64(len(runs))), obs.Int("shards", int64(len(d.shards))))
+	}
+	defer sp.End()
+	return d.run(obs.ContextWithSpan(ctx, sp))
 }
 
 // Evaluator adapts the coordinator into the design-space search's

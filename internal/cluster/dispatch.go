@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hybridmem/internal/api"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/store"
 )
 
@@ -149,7 +150,7 @@ func (d *dispatcher) run(ctx context.Context) ([]RunOutcome, error) {
 		d.addRunner(&runnerHandle{
 			id:        "local",
 			addr:      "local",
-			transport: loopbackTransport{exec: Exec{Parallelism: c.localParallelism(), Store: c.opts.Store}},
+			transport: loopbackTransport{exec: Exec{Parallelism: c.localParallelism(), Store: c.opts.Store, SimCounter: c.opts.SimCounter, Obs: c.opts.Obs}},
 			loopback:  true,
 			local:     true,
 		})
@@ -218,11 +219,25 @@ func (d *dispatcher) monitor(ctx context.Context) {
 // runner from the pool, requeueing its work.
 func (d *dispatcher) worker(ctx context.Context, h *runnerHandle) {
 	consecutive := 0
+	dispatchPhase := obs.PhaseHist(d.c.opts.Obs.Registry()).With("dispatch")
 	for {
-		sh, ok := d.next(ctx, h)
+		sh, stolen, ok := d.next(ctx, h)
 		if !ok {
 			return
 		}
+		// One span per dispatch attempt, hanging off the batch span; the
+		// shard's trace identity rides the wire (version-gated: the field
+		// is absent with tracing off) so the runner's own span links in.
+		ssp := obs.SpanFrom(ctx).Child("shard",
+			obs.Int("shard", int64(sh.idx)), obs.String("runner", h.id))
+		if stolen {
+			ssp.Event("stolen")
+		}
+		var wireTrace *api.Trace
+		if ssp != nil {
+			wireTrace = &api.Trace{TraceID: ssp.TraceID(), SpanID: ssp.SpanID()}
+		}
+		start := time.Now()
 		rpcCtx, cancel := context.WithTimeout(ctx, d.c.opts.RPCTimeout)
 		resp, err := h.transport.runShard(rpcCtx, ShardRequest{
 			Proto:  ProtoVersion,
@@ -231,18 +246,31 @@ func (d *dispatcher) worker(ctx context.Context, h *runnerHandle) {
 			Shard:  sh.idx,
 			Config: d.cfg,
 			Runs:   d.runs[sh.lo:sh.hi],
+			Trace:  wireTrace,
 		})
 		cancel()
+		dispatchPhase.ObserveDuration(time.Since(start))
 		if err == nil && len(resp.Runs) != sh.hi-sh.lo {
 			err = fmt.Errorf("cluster: runner %s returned %d outcomes for %d runs", h.id, len(resp.Runs), sh.hi-sh.lo)
 		}
+		// Remote runners echo their span events in the response; fold
+		// them into the coordinator's flight recorder so one dump holds
+		// the whole distributed timeline. Loopback and local executors
+		// share this recorder and already recorded directly — folding
+		// their echoes again would duplicate every event.
+		if err == nil && !h.loopback {
+			d.c.opts.Obs.Flight().RecordAll(resp.Events)
+		}
 		if err != nil {
+			ssp.Event("attempt_failed")
+			ssp.End()
 			d.fail(sh, h, err)
 			if ctx.Err() != nil {
 				return
 			}
 			consecutive++
-			d.c.opts.Logf("cluster: shard %d on %s failed (attempt strike %d): %v", sh.idx, h.id, consecutive, err)
+			d.c.opts.Log.Warn("cluster: shard attempt failed",
+				"shard", sh.idx, "runner", h.id, "strike", consecutive, "err", err)
 			if consecutive >= d.c.opts.FailuresToDrop && !h.local {
 				d.c.dropRunner(h, fmt.Sprintf("%d consecutive RPC failures", consecutive))
 				return
@@ -250,6 +278,7 @@ func (d *dispatcher) worker(ctx context.Context, h *runnerHandle) {
 			sleepCtx(ctx, time.Duration(consecutive)*d.c.opts.RetryBackoff)
 			continue
 		}
+		ssp.End()
 		consecutive = 0
 		d.complete(sh, h, resp.Runs)
 	}
@@ -258,12 +287,12 @@ func (d *dispatcher) worker(ctx context.Context, h *runnerHandle) {
 // next blocks until there is a shard for this runner (pending first,
 // then a steal), or the batch no longer needs it. The local fallback
 // handle stands down whenever any real runner is live.
-func (d *dispatcher) next(ctx context.Context, h *runnerHandle) (*shardState, bool) {
+func (d *dispatcher) next(ctx context.Context, h *runnerHandle) (*shardState, bool, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
 		if d.finished || d.fatal != nil || d.remaining == 0 || ctx.Err() != nil || d.c.isDead(h) {
-			return nil, false
+			return nil, false, false
 		}
 		var sh *shardState
 		stolen := false
@@ -288,7 +317,7 @@ func (d *dispatcher) next(ctx context.Context, h *runnerHandle) (*shardState, bo
 		if sh != nil {
 			sh.execs[h] = true
 			d.c.noteDispatch(h, stolen, h.local)
-			return sh, true
+			return sh, stolen, true
 		}
 		d.cond.Wait()
 	}

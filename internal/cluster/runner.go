@@ -7,15 +7,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hybridmem/internal/api"
 	"hybridmem/internal/config"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
@@ -40,7 +42,11 @@ type Exec struct {
 	Store *store.Store
 	// SimCounter, when non-nil, counts actual engine executions (store
 	// and memo hits excluded).
-	SimCounter *atomic.Uint64
+	SimCounter *obs.Counter
+	// Obs, when non-nil, hooks shard execution into the observability
+	// plane: the simulate phase lands in its registry's phase histogram
+	// and traced shards record their spans into its flight recorder.
+	Obs *obs.Obs
 }
 
 // RunShard executes one shard request and returns outcomes in run
@@ -58,6 +64,18 @@ func (e Exec) RunShard(ctx context.Context, req ShardRequest) (ShardResponse, er
 		Parallelism:  e.Parallelism,
 		Store:        e.Store,
 		SimCounter:   e.SimCounter,
+	}
+	// A traced request gets a per-shard recorder: the remote span tree
+	// lands there, is folded into this node's own flight recorder, and
+	// is echoed in the response for the coordinator's timeline. An
+	// untraced request allocates none of this and the response carries
+	// no Events — wire bytes identical to a pre-tracing node.
+	var rec *obs.FlightRecorder
+	var sp *obs.Span
+	if req.Trace != nil {
+		rec = obs.NewFlightRecorder(16)
+		sp = obs.NewTracer(rec).StartRemote(req.Trace.TraceID, req.Trace.SpanID, "runner_shard",
+			obs.Int("shard", int64(req.Shard)), obs.Int("runs", int64(len(req.Runs))))
 	}
 	resp := ShardResponse{Proto: ProtoVersion, Shard: req.Shard, Runs: make([]RunOutcome, len(req.Runs))}
 	specs := make([]exp.RunSpec, len(req.Runs))
@@ -86,7 +104,9 @@ func (e Exec) RunShard(ctx context.Context, req ShardRequest) (ShardResponse, er
 			liveIdx = append(liveIdx, i)
 		}
 	}
+	simStart := time.Now()
 	results, errs := runner.ResultsParallelEach(ctx, live)
+	obs.PhaseHist(e.Obs.Registry()).With("simulate").ObserveDuration(time.Since(simStart))
 	if err := ctx.Err(); err != nil {
 		return ShardResponse{}, err
 	}
@@ -101,6 +121,11 @@ func (e Exec) RunShard(ctx context.Context, req ShardRequest) (ShardResponse, er
 			NMWriteBytes: r.Mem.NMWriteBytes,
 			FMWriteBytes: r.Mem.FMWriteBytes,
 		}
+	}
+	if sp != nil {
+		sp.End()
+		resp.Events = rec.Snapshot()
+		e.Obs.Flight().RecordAll(resp.Events)
 	}
 	return resp, nil
 }
@@ -128,8 +153,16 @@ type NodeOptions struct {
 	StoreDir string
 	// StoreMaxBytes bounds the on-disk store; <= 0 means unbounded.
 	StoreMaxBytes int64
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational log records; nil discards
+	// them.
+	Log *slog.Logger
+	// Obs, when non-nil, gives the node its own observability plane:
+	// /metrics renders its registry (simulation and shard counters, the
+	// store tiers, phase timings), /debug/events dumps its flight
+	// recorder, and traced shard RPCs record spans into it. nil keeps
+	// the node fully passive; /metrics and /debug/events then serve
+	// empty documents.
+	Obs *obs.Obs
 	// OnListen, when non-nil, is called with the bound listen address
 	// before serving starts — how tests and callers learn a :0 port.
 	OnListen func(addr string)
@@ -140,9 +173,35 @@ type node struct {
 	opts   NodeOptions
 	exec   Exec
 	client *http.Client
+	sims   obs.Counter
+	shards obs.Counter
 
 	mu       sync.Mutex
 	attached bool
+}
+
+// registerMetrics publishes the node's own counters — simulations,
+// shards served, and its store tiers when it has one — on its registry.
+func (n *node) registerMetrics() {
+	r := n.opts.Obs.Registry()
+	if r == nil {
+		return
+	}
+	r.RegisterCounter("hybridmem_sims_total", "Simulations actually executed (store and memo hits excluded).", &n.sims)
+	r.RegisterCounter("hybridmem_cluster_node_shards_total", "Shard RPCs this node answered successfully.", &n.shards)
+	if st := n.exec.Store; st != nil {
+		stat := func(f func(store.Stats) float64) func() float64 {
+			return func() float64 { return f(st.Stats()) }
+		}
+		r.CounterFunc("hybridmem_store_disk_hits_total", "Disk-tier store hits.",
+			stat(func(s store.Stats) float64 { return float64(s.DiskHits) }))
+		r.CounterFunc("hybridmem_store_disk_misses_total", "Disk-tier store misses.",
+			stat(func(s store.Stats) float64 { return float64(s.DiskMisses) }))
+		r.CounterFunc("hybridmem_store_disk_evictions_total", "Disk-tier entries evicted by the size bound.",
+			stat(func(s store.Stats) float64 { return float64(s.DiskEvictions) }))
+		r.CounterFunc("hybridmem_store_corrupt_discarded_total", "Disk-tier entries discarded on integrity-check failure.",
+			stat(func(s store.Stats) float64 { return float64(s.DiskCorrupt) }))
+	}
 }
 
 // ServeNode runs a runner node until ctx is canceled: it listens for
@@ -156,8 +215,8 @@ func ServeNode(ctx context.Context, opts NodeOptions) error {
 	if opts.Addr == "" {
 		opts.Addr = "127.0.0.1:0"
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
@@ -172,7 +231,7 @@ func ServeNode(ctx context.Context, opts NodeOptions) error {
 	if opts.OnListen != nil {
 		opts.OnListen(ln.Addr().String())
 	}
-	exec := Exec{Parallelism: opts.Parallelism}
+	exec := Exec{Parallelism: opts.Parallelism, Obs: opts.Obs}
 	if opts.StoreDir != "" {
 		st, err := store.Open(store.Options{Dir: opts.StoreDir, MaxBytes: opts.StoreMaxBytes})
 		if err != nil {
@@ -186,11 +245,13 @@ func ServeNode(ctx context.Context, opts NodeOptions) error {
 		exec:   exec,
 		client: &http.Client{Timeout: 10 * time.Second},
 	}
+	n.exec.SimCounter = &n.sims
+	n.registerMetrics()
 	srv := &http.Server{Handler: n.mux(), BaseContext: func(net.Listener) context.Context { return ctx }}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	go n.attachLoop(ctx)
-	opts.Logf("cluster: runner %s listening on %s, joining %s", opts.ID, ln.Addr(), opts.Join)
+	opts.Log.Info("cluster: runner listening", "runner", opts.ID, "addr", ln.Addr().String(), "join", opts.Join)
 	select {
 	case <-ctx.Done():
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -229,8 +290,22 @@ func (n *node) mux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		n.shards.Inc()
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		n.opts.Obs.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		n.opts.Obs.Flight().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{
 			"status":      "ok",
@@ -251,12 +326,12 @@ func (n *node) attachLoop(ctx context.Context) {
 		interval, err := n.join(ctx)
 		if err != nil {
 			n.setAttached(false)
-			n.opts.Logf("cluster: runner %s: join %s: %v", n.opts.ID, n.opts.Join, err)
+			n.opts.Log.Warn("cluster: join failed", "runner", n.opts.ID, "coordinator", n.opts.Join, "err", err)
 			sleepCtx(ctx, joinRetry)
 			continue
 		}
 		n.setAttached(true)
-		n.opts.Logf("cluster: runner %s attached to %s (heartbeat every %v)", n.opts.ID, n.opts.Join, interval)
+		n.opts.Log.Info("cluster: runner attached", "runner", n.opts.ID, "coordinator", n.opts.Join, "heartbeat", interval)
 		for ctx.Err() == nil {
 			sleepCtx(ctx, interval)
 			if ctx.Err() != nil {
@@ -264,7 +339,7 @@ func (n *node) attachLoop(ctx context.Context) {
 			}
 			if err := n.heartbeat(ctx); err != nil {
 				n.setAttached(false)
-				n.opts.Logf("cluster: runner %s: heartbeat: %v; rejoining", n.opts.ID, err)
+				n.opts.Log.Warn("cluster: heartbeat failed, rejoining", "runner", n.opts.ID, "err", err)
 				break
 			}
 		}

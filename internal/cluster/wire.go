@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridmem/internal/api"
+	"hybridmem/internal/obs"
 )
 
 // ProtoVersion identifies the cluster RPC layout below. Every request
@@ -39,6 +40,11 @@ type ShardRequest struct {
 	Shard  int    `json:"shard"`
 	Config Config `json:"config"`
 	Runs   []Run  `json:"runs"`
+	// Trace carries the dispatching shard span's identity when the
+	// coordinator traces; absent (and ignored by pre-tracing nodes,
+	// which decode leniently) otherwise. It never affects outcomes —
+	// only the runner's span linkage.
+	Trace *api.Trace `json:"trace,omitempty"`
 }
 
 // RunOutcome is the result of one run of a shard. Result is the
@@ -60,6 +66,10 @@ type ShardResponse struct {
 	Proto int          `json:"proto"`
 	Shard int          `json:"shard"`
 	Runs  []RunOutcome `json:"runs"`
+	// Events echoes the runner-side span events of this shard when the
+	// request carried a Trace, so the coordinator can fold them into
+	// one distributed timeline; absent otherwise.
+	Events []obs.Event `json:"events,omitempty"`
 }
 
 // joinRequest registers a runner with the coordinator. Addr is the URL

@@ -76,12 +76,13 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync/atomic"
+	"time"
 
 	"hybridmem/internal/config"
 	"hybridmem/internal/design"
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
 	"hybridmem/internal/exp"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
 )
@@ -155,7 +156,7 @@ type Options struct {
 	Store *store.Store
 	// SimCounter, when non-nil, counts simulations actually executed
 	// (store and memo hits excluded), threaded through to every runner.
-	SimCounter *atomic.Uint64
+	SimCounter *obs.Counter
 	// Checkpoint is the state-file path, rewritten atomically after
 	// every round; empty disables checkpointing. Resume continues from
 	// an existing checkpoint instead of starting fresh.
@@ -164,6 +165,12 @@ type Options struct {
 	// Progress, when non-nil, is called after every merged round and
 	// once more when the search completes.
 	Progress func(Event)
+	// Phase, when non-nil, receives the wall-clock duration of each
+	// internal search phase (currently "frontier_fold", the per-round
+	// Pareto merge) so serving layers can record phase timings. Like
+	// Eval, Store and SimCounter, Phase observes the search without
+	// steering it and is not part of the checkpoint fingerprint.
+	Phase func(name string, d time.Duration)
 }
 
 // Event is one streaming progress report.
@@ -260,7 +267,11 @@ func Search(ctx context.Context, opts Options) (Result, error) {
 			}
 			return s.result(), err
 		}
+		foldStart := time.Now()
 		s.merge(pts, screen)
+		if s.opts.Phase != nil {
+			s.opts.Phase("frontier_fold", time.Since(foldStart))
+		}
 		if err := s.flush(); err != nil {
 			return s.result(), err
 		}

@@ -23,11 +23,11 @@ import (
 	"io"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"hybridmem/internal/config"
 	"hybridmem/internal/design"
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
+	"hybridmem/internal/obs"
 	"hybridmem/internal/sim"
 	"hybridmem/internal/store"
 	"hybridmem/internal/trace"
@@ -75,7 +75,7 @@ type Runner struct {
 	// runner actually executes — not for memo or store hits — so
 	// serving layers can assert and report how much engine work a
 	// request really cost.
-	SimCounter *atomic.Uint64
+	SimCounter *obs.Counter
 
 	mu     sync.Mutex
 	memo   *store.LRU[memoVal]
@@ -241,9 +241,7 @@ func (r *Runner) ResultErr(wl workload.Spec, designName string, ratio16 int) (si
 		if err != nil {
 			return memoVal{err: err}, nil
 		}
-		if r.SimCounter != nil {
-			r.SimCounter.Add(1)
-		}
+		r.SimCounter.Inc()
 		res := sim.Run(wl, ms, nm, fm, sys)
 		if r.Store != nil {
 			if data, err := json.Marshal(res); err == nil {
@@ -514,9 +512,7 @@ func (r *Runner) RunTrace(name string, rd io.Reader, designName string, ratio16,
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if r.SimCounter != nil {
-		r.SimCounter.Add(1)
-	}
+	r.SimCounter.Inc()
 	res = sim.RunSources(name, srcs, mlp, ms, nm, fm, sys)
 	// Per-core sources signal stream problems only as an early end of
 	// records; surface the real cause now that replay has drained.

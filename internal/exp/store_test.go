@@ -1,9 +1,9 @@
 package exp
 
 import (
-	"sync/atomic"
 	"testing"
 
+	"hybridmem/internal/obs"
 	"hybridmem/internal/store"
 )
 
@@ -12,7 +12,7 @@ import (
 // runs are recomputed with identical results, and with a store attached
 // the recomputation is a disk hit, not a simulation.
 func TestMemoBoundedEvicts(t *testing.T) {
-	var sims atomic.Uint64
+	var sims obs.Counter
 	st, err := store.Open(store.Options{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +35,7 @@ func TestMemoBoundedEvicts(t *testing.T) {
 	if ms.Evictions == 0 {
 		t.Fatal("no evictions despite exceeding the memo bound")
 	}
-	simsAfterSweep := sims.Load()
+	simsAfterSweep := sims.Value()
 	if simsAfterSweep != uint64(len(designs)) {
 		t.Fatalf("sim counter = %d after %d distinct runs", simsAfterSweep, len(designs))
 	}
@@ -45,8 +45,8 @@ func TestMemoBoundedEvicts(t *testing.T) {
 	if got := uint64(r.Result(wl, designs[0], 1).Cycles); got != first[designs[0]] {
 		t.Fatalf("re-resolved run differs: %d cycles, first saw %d", got, first[designs[0]])
 	}
-	if sims.Load() != simsAfterSweep {
-		t.Fatalf("re-resolving an evicted run simulated again (%d sims)", sims.Load())
+	if sims.Value() != simsAfterSweep {
+		t.Fatalf("re-resolving an evicted run simulated again (%d sims)", sims.Value())
 	}
 	if st.Stats().DiskHits == 0 {
 		t.Fatal("evicted run was not served from the disk tier")
@@ -62,7 +62,7 @@ func TestStoreSharedAcrossRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sims1 atomic.Uint64
+	var sims1 obs.Counter
 	r1 := tiny()
 	r1.Store = st
 	r1.SimCounter = &sims1
@@ -71,7 +71,7 @@ func TestStoreSharedAcrossRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sims1.Load() == 0 {
+	if sims1.Value() == 0 {
 		t.Fatal("cold sweep executed no simulations")
 	}
 
@@ -80,7 +80,7 @@ func TestStoreSharedAcrossRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sims2 atomic.Uint64
+	var sims2 obs.Counter
 	r2 := tiny()
 	r2.Store = st2
 	r2.SimCounter = &sims2
@@ -88,8 +88,8 @@ func TestStoreSharedAcrossRunners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sims2.Load() != 0 {
-		t.Fatalf("warm sweep executed %d simulations, want 0", sims2.Load())
+	if sims2.Value() != 0 {
+		t.Fatalf("warm sweep executed %d simulations, want 0", sims2.Value())
 	}
 	for i := range warm {
 		if warm[i] != got[i] {
@@ -98,7 +98,7 @@ func TestStoreSharedAcrossRunners(t *testing.T) {
 	}
 
 	// A runner with a different knob must not be served those entries.
-	var sims3 atomic.Uint64
+	var sims3 obs.Counter
 	r3 := tiny()
 	r3.Store = st2
 	r3.SimCounter = &sims3
@@ -106,7 +106,7 @@ func TestStoreSharedAcrossRunners(t *testing.T) {
 	if _, err := r3.ResultErr(specs[0].Workload, specs[0].Design, specs[0].Ratio16); err != nil {
 		t.Fatal(err)
 	}
-	if sims3.Load() != 1 {
-		t.Fatalf("different-seed run was served from the store (%d sims)", sims3.Load())
+	if sims3.Value() != 1 {
+		t.Fatalf("different-seed run was served from the store (%d sims)", sims3.Value())
 	}
 }

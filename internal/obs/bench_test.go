@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// instrumented is the per-request observability work the serving layer
+// does: a request counter, a latency observation, and a span with one
+// phase event — measured with the plane enabled and disabled. The "off"
+// case is the passivity bound: it must stay at zero allocations.
+func instrumented(c *Counter, h *Histogram, sp *Span) {
+	c.Inc()
+	h.ObserveDuration(50 * time.Microsecond)
+	child := sp.Child("phase")
+	child.Event("lookup")
+	child.End()
+}
+
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		var c *Counter
+		var h *Histogram
+		var sp *Span
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			instrumented(c, h, sp)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		o := New(Options{FlightEvents: 1024})
+		reg := o.Registry()
+		c := reg.Counter("bench_requests_total", "x.")
+		h := reg.Histogram("bench_latency_us", "x.")
+		root := o.Tracer().StartSpan("bench")
+		defer root.End()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			instrumented(c, h, root)
+		}
+	})
+}

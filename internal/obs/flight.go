@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// FlightRecorder is a bounded in-memory ring of recent span events —
+// the always-on "what just happened" buffer dumped over /debug/events
+// and on SIGQUIT. Old events are overwritten once the ring fills; Total
+// reports how many were ever recorded so a dump shows what it lost.
+// All methods are safe through a nil receiver and for concurrent use.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewFlightRecorder returns a recorder holding the most recent
+// `capacity` events; <= 0 means 4096.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &FlightRecorder{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (f *FlightRecorder) Record(e Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next] = e
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// RecordAll appends a batch of events — how a coordinator folds the
+// span events a runner echoed back into its own timeline.
+func (f *FlightRecorder) RecordAll(evs []Event) {
+	if f == nil {
+		return
+	}
+	for _, e := range evs {
+		f.Record(e)
+	}
+}
+
+// Total returns how many events were ever recorded.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (f *FlightRecorder) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.full {
+		return append([]Event(nil), f.buf[:f.next]...)
+	}
+	out := make([]Event, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	return append(out, f.buf[:f.next]...)
+}
+
+// flightDump is the JSON envelope of a flight-recorder dump.
+type flightDump struct {
+	Total  uint64  `json:"total"`
+	Events []Event `json:"events"`
+}
+
+// WriteJSON dumps the retained events as one JSON document:
+// {"total": N, "events": [...]}. A nil recorder dumps an empty
+// document, so the endpoint works (and says so) with tracing disabled.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	d := flightDump{Total: f.Total(), Events: f.Snapshot()}
+	if d.Events == nil {
+		d.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expoFamily is one parsed metric family of an exposition document.
+type expoFamily struct {
+	name    string
+	typ     string
+	hasHelp bool
+	series  map[string]float64 // rendered series identity -> value
+}
+
+// Lint validates a Prometheus text exposition (version 0.0.4): every
+// sample belongs to a family declared with # HELP and # TYPE lines,
+// family names are unique and their samples contiguous, metric and
+// label names are well-formed, label values are correctly escaped,
+// values parse as finite floats, and no series repeats. It is applied
+// to registry unit tests and to live server scrapes in CI.
+func Lint(data []byte) error {
+	_, err := parseExposition(data)
+	return err
+}
+
+// LintMonotonic checks the counter contract across two scrapes of the
+// same target: every counter series present in both must not decrease.
+// Summary _count and _sum series are held to the same standard.
+func LintMonotonic(prev, cur []byte) error {
+	pf, err := parseExposition(prev)
+	if err != nil {
+		return fmt.Errorf("first scrape: %w", err)
+	}
+	cf, err := parseExposition(cur)
+	if err != nil {
+		return fmt.Errorf("second scrape: %w", err)
+	}
+	names := make([]string, 0, len(pf))
+	for name := range pf {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := pf[name]
+		c, ok := cf[name]
+		if !ok {
+			continue
+		}
+		for series, pv := range p.series {
+			cv, ok := c.series[series]
+			if !ok {
+				continue
+			}
+			monotonic := p.typ == "counter" ||
+				(p.typ == "summary" && (strings.Contains(series, "_count") || strings.Contains(series, "_sum")))
+			if monotonic && cv < pv {
+				return fmt.Errorf("counter %s decreased across scrapes: %v -> %v", series, pv, cv)
+			}
+		}
+	}
+	return nil
+}
+
+// parseExposition parses one exposition document into families,
+// validating format rules as it goes.
+func parseExposition(data []byte) (map[string]*expoFamily, error) {
+	families := make(map[string]*expoFamily)
+	var cur *expoFamily             // family whose sample block is open
+	closed := make(map[string]bool) // families whose sample block ended
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "" {
+				continue // free-form comment
+			}
+			f := families[name]
+			if f == nil {
+				f = &expoFamily{name: name, series: make(map[string]float64)}
+				families[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.hasHelp {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				f.hasHelp = true
+			case "TYPE":
+				if f.typ != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if len(f.series) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+					f.typ = rest
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f := familyOf(families, name)
+		if f == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no # HELP/# TYPE declaration", lineNo, name)
+		}
+		if !f.hasHelp || f.typ == "" {
+			return nil, fmt.Errorf("line %d: family %s is missing %s", lineNo, f.name, missingDecl(f))
+		}
+		if cur != f {
+			if closed[f.name] {
+				return nil, fmt.Errorf("line %d: samples of %s are not contiguous", lineNo, f.name)
+			}
+			if cur != nil {
+				closed[cur.name] = true
+			}
+			cur = f
+		}
+		series := name + labels
+		if _, dup := f.series[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		f.series[series] = value
+	}
+	return families, nil
+}
+
+func missingDecl(f *expoFamily) string {
+	switch {
+	case !f.hasHelp && f.typ == "":
+		return "# HELP and # TYPE"
+	case !f.hasHelp:
+		return "# HELP"
+	default:
+		return "# TYPE"
+	}
+}
+
+// familyOf resolves a sample name to its declared family, accounting
+// for the _sum/_count suffixes of summaries and histograms (and the
+// _bucket suffix of histograms).
+func familyOf(families map[string]*expoFamily, name string) *expoFamily {
+	if f, ok := families[name]; ok {
+		return f
+	}
+	for _, suffix := range [...]string{"_sum", "_count", "_bucket"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.typ == "summary" || f.typ == "histogram") {
+			if suffix == "_bucket" && f.typ != "histogram" {
+				return nil
+			}
+			return f
+		}
+	}
+	return nil
+}
+
+// parseComment splits a "# HELP name text" / "# TYPE name type" line.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body, ok := strings.CutPrefix(line, "# ")
+	if !ok {
+		return "", "", "", nil // bare comment
+	}
+	fields := strings.SplitN(body, " ", 3)
+	if fields[0] != "HELP" && fields[0] != "TYPE" {
+		return "", "", "", nil
+	}
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("malformed %s line %q", fields[0], line)
+	}
+	if !validMetricName(fields[1]) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", fields[1])
+	}
+	return fields[0], fields[1], fields[2], nil
+}
+
+// parseSample splits one sample line into name, canonical label string
+// and value, validating names, escaping and the value format.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, lerr := parseLabels(rest)
+		if lerr != nil {
+			return "", "", 0, fmt.Errorf("sample %s: %w", name, lerr)
+		}
+		labels = rest[:end+1]
+		rest = rest[end+1:]
+		if rest == "" || rest[0] != ' ' {
+			return "", "", 0, fmt.Errorf("sample %s: missing value", name)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", 0, fmt.Errorf("sample %s: malformed value %q", name, rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %s: bad value %q", name, fields[0])
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return "", "", 0, fmt.Errorf("sample %s: non-finite value %q", name, fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels validates a {k="v",...} block starting at s[0] == '{' and
+// returns the index of the closing brace.
+func parseLabels(s string) (int, error) {
+	i := 1
+	seen := make(map[string]bool)
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, fmt.Errorf("malformed label block %q", s)
+		}
+		key := s[i : i+j]
+		if !validLabelName(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		if seen[key] {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		seen[key] = true
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q: value is not quoted", key)
+		}
+		i++
+		for { // scan the quoted value, honoring escapes
+			if i >= len(s) {
+				return 0, fmt.Errorf("label %q: unterminated value", key)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("label %q: dangling escape", key)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+				default:
+					return 0, fmt.Errorf("label %q: invalid escape \\%c", key, s[i+1])
+				}
+			case '"':
+				i++
+				goto valueDone
+			default:
+				i++
+			}
+		}
+	valueDone:
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

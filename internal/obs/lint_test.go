@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAcceptsCanonical(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP a_total Things.",
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# HELP b_us Latency.",
+		"# TYPE b_us summary",
+		`b_us{quantile="0.5"} 10`,
+		`b_us{quantile="0.9"} 20`,
+		"b_us_sum 30",
+		"b_us_count 2",
+		"# HELP c_inflight In flight.",
+		"# TYPE c_inflight gauge",
+		`c_inflight{runner="a b",zone="x\"y\\z"} 1`,
+		"",
+	}, "\n")
+	if err := Lint([]byte(good)); err != nil {
+		t.Fatalf("canonical exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no declaration", "a_total 1\n"},
+		{"missing TYPE", "# HELP a_total x.\na_total 1\n"},
+		{"missing HELP", "# TYPE a_total counter\na_total 1\n"},
+		{"duplicate TYPE", "# HELP a x.\n# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"duplicate series", "# HELP a x.\n# TYPE a counter\na 1\na 2\n"},
+		{"duplicate labeled series", "# HELP a x.\n# TYPE a counter\na{k=\"v\"} 1\na{k=\"v\"} 2\n"},
+		{"bad metric name", "# HELP a-b x.\n# TYPE a-b counter\na-b 1\n"},
+		{"bad value", "# HELP a x.\n# TYPE a counter\na one\n"},
+		{"NaN value", "# HELP a x.\n# TYPE a gauge\na NaN\n"},
+		{"bad escape", "# HELP a x.\n# TYPE a counter\na{k=\"v\\q\"} 1\n"},
+		{"unquoted label", "# HELP a x.\n# TYPE a counter\na{k=v} 1\n"},
+		{"duplicate label", "# HELP a x.\n# TYPE a counter\na{k=\"1\",k=\"2\"} 1\n"},
+		{"reserved label", "# HELP a x.\n# TYPE a counter\na{__k=\"1\"} 1\n"},
+		{"unknown type", "# HELP a x.\n# TYPE a widget\na 1\n"},
+		{"interleaved families", "# HELP a x.\n# TYPE a counter\n# HELP b x.\n# TYPE b counter\na 1\nb 1\na{k=\"v\"} 1\n"},
+	}
+	for _, tc := range cases {
+		if err := Lint([]byte(tc.in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, tc.in)
+		}
+	}
+}
+
+func TestLintMonotonic(t *testing.T) {
+	mk := func(v string) []byte {
+		return []byte("# HELP a_total x.\n# TYPE a_total counter\na_total " + v + "\n" +
+			"# HELP g x.\n# TYPE g gauge\ng 100\n")
+	}
+	if err := LintMonotonic(mk("1"), mk("5")); err != nil {
+		t.Fatalf("increasing counter flagged: %v", err)
+	}
+	if err := LintMonotonic(mk("5"), mk("1")); err == nil {
+		t.Fatal("decreasing counter accepted")
+	}
+	// Gauges may decrease freely.
+	down := []byte("# HELP g x.\n# TYPE g gauge\ng 1\n")
+	up := []byte("# HELP g x.\n# TYPE g gauge\ng 100\n")
+	if err := LintMonotonic(up, down); err != nil {
+		t.Fatalf("decreasing gauge flagged: %v", err)
+	}
+	// Summary _count must not decrease.
+	sum := func(c string) []byte {
+		return []byte("# HELP s x.\n# TYPE s summary\ns_sum 10\ns_count " + c + "\n")
+	}
+	if err := LintMonotonic(sum("5"), sum("3")); err == nil {
+		t.Fatal("decreasing summary count accepted")
+	}
+}

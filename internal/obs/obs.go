@@ -1,0 +1,108 @@
+// Package obs is the observability plane shared by the serving layer,
+// the cluster coordinator and the runner nodes: one metrics registry,
+// lightweight structured tracing, and a bounded flight recorder of
+// recent span events.
+//
+// # Registry
+//
+// Registry holds counters, gauges and histograms — optionally labeled —
+// and renders them all as canonical Prometheus text exposition
+// (version 0.0.4, with # HELP and # TYPE lines, deterministically
+// ordered). Snapshot-style statistics owned elsewhere (store tiers,
+// cluster dispatch counters, queue depths) fold in through func-backed
+// families read at scrape time, so there is exactly one rendering path
+// for every metric the process exports. Registering the same name twice
+// with a matching type and label set returns the existing family, which
+// lets independent components (the HTTP layer, the coordinator) share
+// one family — the per-phase duration histogram, for example — without
+// coordinating registration order.
+//
+// # Tracing
+//
+// Tracer mints trace and span IDs per request or job; spans form a
+// tree (Child), carry attributes, record point events, and measure
+// their own duration on End. Every span transition lands in the
+// tracer's FlightRecorder — a fixed-size ring of recent events dumped
+// over /debug/events or on SIGQUIT — so "where did this explore spend
+// its time" is answerable after the fact without a profiler. Spans
+// propagate through context (ContextWithSpan/SpanFrom) within a
+// process and through the cluster wire schema (api.Trace) across
+// processes; a runner executes a remote shard under a span parented to
+// the coordinator's shard span and echoes its events back, so a
+// distributed batch yields one coherent timeline.
+//
+// # Passivity
+//
+// Observability is passive by construction: simulation, sweep, DSE and
+// cluster outputs are byte-identical with tracing on or off, and every
+// handle (Counter, Gauge, Histogram, Span, Tracer, Registry,
+// FlightRecorder) is safe to use through a nil pointer, where all
+// operations are allocation-free no-ops — a disabled plane costs
+// nothing on the hot path. These invariants are pinned by tests here
+// and in internal/serve.
+package obs
+
+// Options configures an Obs bundle.
+type Options struct {
+	// FlightEvents is the flight recorder's ring capacity in events;
+	// <= 0 means 4096.
+	FlightEvents int
+}
+
+// Obs bundles the three observability components one process shares: a
+// metrics registry, a flight recorder, and a tracer writing into it.
+// The zero Obs (and a nil *Obs) is fully disabled: every accessor
+// returns nil and all downstream operations are no-ops.
+type Obs struct {
+	reg    *Registry
+	flight *FlightRecorder
+	tracer *Tracer
+}
+
+// New returns an enabled observability bundle.
+func New(opts Options) *Obs {
+	f := NewFlightRecorder(opts.FlightEvents)
+	return &Obs{
+		reg:    NewRegistry(),
+		flight: f,
+		tracer: NewTracer(f),
+	}
+}
+
+// Nop returns a non-nil but fully disabled bundle: metrics registration
+// yields nil handles, spans are nil, and nothing is recorded.
+func Nop() *Obs { return &Obs{} }
+
+// Registry returns the metrics registry, nil when disabled.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the tracer, nil when disabled.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Flight returns the flight recorder, nil when disabled.
+func (o *Obs) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}
+
+// PhaseHist returns the process-wide per-phase duration histogram
+// family (microseconds, labeled by phase). Defined here so every
+// component that times a phase — request canonicalization, store
+// lookup, shard dispatch, simulation, frontier folds — lands in the
+// same family without duplicating the name or help text.
+func PhaseHist(r *Registry) *HistogramVec {
+	return r.HistogramVec("hybridmem_phase_duration_us",
+		"Wall-clock duration of internal processing phases, in microseconds.", "phase")
+}

@@ -1,0 +1,580 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybridmem/internal/stats"
+)
+
+// metricType is the exposition TYPE of a family.
+type metricType int
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeSummary
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// Counter is a monotonically increasing counter. All methods are safe
+// through a nil receiver (no-ops) and for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. All methods are safe through
+// a nil receiver and for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the value by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram records non-negative integer samples (latencies in
+// microseconds, typically) into a log2-bucketed stats.Histogram and
+// renders as a summary: p50/p90/p99 quantiles plus _sum and _count.
+// All methods are safe through a nil receiver and for concurrent use.
+type Histogram struct {
+	mu sync.Mutex
+	h  stats.Histogram
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(uint64(max(d.Microseconds(), 0)))
+}
+
+// snapshot returns the summary samples under the histogram's lock.
+func (h *Histogram) snapshot(labels []Label) []sample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]sample, 0, 5)
+	for _, q := range [...]struct {
+		name string
+		p    float64
+	}{{"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}} {
+		var v float64
+		if h.h.Count() > 0 {
+			v = float64(h.h.Percentile(q.p))
+		}
+		ql := append(append([]Label(nil), labels...), Label{Key: "quantile", Value: q.name})
+		out = append(out, sample{labels: ql, value: v})
+	}
+	out = append(out,
+		sample{suffix: "_sum", labels: labels, value: float64(h.h.Sum())},
+		sample{suffix: "_count", labels: labels, value: float64(h.h.Count())},
+	)
+	return out
+}
+
+// Label is one label key/value pair of a metric sample.
+type Label struct{ Key, Value string }
+
+// Sample is one func-collected metric sample: its label values (in the
+// family's label-key order) and its value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// sample is one rendered exposition line of a family.
+type sample struct {
+	suffix string // "", "_sum", "_count"
+	labels []Label
+	value  float64
+}
+
+// child is one labeled member of a directly-updated family.
+type child struct {
+	labelVals []string
+	c         *Counter
+	g         *Gauge
+	h         *Histogram
+}
+
+// family is one metric family: a name, a type, and either directly
+// updated children or a collect func read at scrape time.
+type family struct {
+	name      string
+	help      string
+	typ       metricType
+	labelKeys []string
+
+	mu       sync.Mutex
+	children map[string]*child
+	collect  func() []Sample
+}
+
+// Registry is a collection of metric families rendered together as one
+// Prometheus text exposition. All methods are safe for concurrent use
+// and safe through a nil receiver: a nil registry hands out nil metric
+// handles, whose operations are allocation-free no-ops — the disabled
+// observability mode.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns the named family, creating it on first registration.
+// Re-registering with a matching type and label set returns the
+// existing family (the first help string wins); a mismatch panics —
+// two components exporting the same name with different meanings is a
+// programming error worth failing loudly on.
+func (r *Registry) family(name, help string, typ metricType, labelKeys []string) *family {
+	mustValidName(name)
+	for _, k := range labelKeys {
+		mustValidLabel(k)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labelKeys, labelKeys) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, typ, labelKeys, f.typ, f.labelKeys))
+		}
+		if f.collect != nil {
+			panic(fmt.Sprintf("obs: metric %q is func-backed and cannot gain direct children", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labelKeys: labelKeys, children: make(map[string]*child)}
+	r.families[name] = f
+	return f
+}
+
+// registerCollect installs a func-backed family. Unlike direct
+// families, a collect func cannot be registered twice.
+func (r *Registry) registerCollect(name, help string, typ metricType, labelKeys []string, fn func() []Sample) {
+	if r == nil {
+		return
+	}
+	mustValidName(name)
+	for _, k := range labelKeys {
+		mustValidLabel(k)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.families[name] = &family{name: name, help: help, typ: typ, labelKeys: labelKeys, collect: fn}
+}
+
+// Counter registers (or finds) an unlabeled counter family and returns
+// its handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, typeCounter, nil).counterChild(nil)
+}
+
+// RegisterCounter attaches an existing Counter — one owned and updated
+// by another component, like the engine-simulation counter threaded
+// through exp runners — as an unlabeled counter family.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	f := r.family(name, help, typeCounter, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[""]; ok {
+		panic(fmt.Sprintf("obs: metric %q already has a counter attached", name))
+	}
+	f.children[""] = &child{c: c}
+}
+
+// Gauge registers (or finds) an unlabeled gauge family and returns its
+// handle.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, typeGauge, nil).gaugeChild(nil)
+}
+
+// Histogram registers (or finds) an unlabeled histogram family and
+// returns its handle.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.family(name, help, typeSummary, nil).histChild(nil)
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.family(name, help, typeCounter, labelKeys)}
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, labelKeys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.family(name, help, typeSummary, labelKeys)}
+}
+
+// CounterFunc registers a counter family whose single unlabeled value
+// is read from fn at scrape time. fn must be monotonically
+// non-decreasing, the counter contract the exposition lint enforces.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.registerCollect(name, help, typeCounter, nil, func() []Sample { return []Sample{{Value: fn()}} })
+}
+
+// GaugeFunc registers a gauge family whose single unlabeled value is
+// read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.registerCollect(name, help, typeGauge, nil, func() []Sample { return []Sample{{Value: fn()}} })
+}
+
+// CounterSamplesFunc registers a labeled counter family whose sample
+// set is produced by fn at scrape time — the seam for dynamic label
+// sets like per-runner dispatch counters.
+func (r *Registry) CounterSamplesFunc(name, help string, labelKeys []string, fn func() []Sample) {
+	r.registerCollect(name, help, typeCounter, labelKeys, fn)
+}
+
+// GaugeSamplesFunc registers a labeled gauge family whose sample set is
+// produced by fn at scrape time.
+func (r *Registry) GaugeSamplesFunc(name, help string, labelKeys []string, fn func() []Sample) {
+	r.registerCollect(name, help, typeGauge, labelKeys, fn)
+}
+
+// CounterVec hands out per-label-value counters of one family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (in the family's
+// label-key order), creating it on first use.
+func (v *CounterVec) With(labelVals ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.counterChild(labelVals)
+}
+
+// HistogramVec hands out per-label-value histograms of one family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelVals ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.histChild(labelVals)
+}
+
+func (f *family) childFor(labelVals []string) *child {
+	if len(labelVals) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label value(s), got %d", f.name, len(f.labelKeys), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[key]
+	if !ok {
+		ch = &child{labelVals: append([]string(nil), labelVals...)}
+		f.children[key] = ch
+	}
+	return ch
+}
+
+func (f *family) counterChild(labelVals []string) *Counter {
+	ch := f.childFor(labelVals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch.c == nil {
+		ch.c = &Counter{}
+	}
+	return ch.c
+}
+
+func (f *family) gaugeChild(labelVals []string) *Gauge {
+	ch := f.childFor(labelVals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch.g == nil {
+		ch.g = &Gauge{}
+	}
+	return ch.g
+}
+
+func (f *family) histChild(labelVals []string) *Histogram {
+	ch := f.childFor(labelVals)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch.h == nil {
+		ch.h = &Histogram{}
+	}
+	return ch.h
+}
+
+// WritePrometheus renders every family in the text exposition format:
+// # HELP and # TYPE lines followed by the family's samples, families in
+// name order, samples in label order — a deterministic scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var buf bytes.Buffer
+	for _, f := range fams {
+		f.render(&buf)
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func (f *family) render(buf *bytes.Buffer) {
+	fmt.Fprintf(buf, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(buf, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range f.samples() {
+		buf.WriteString(f.name)
+		buf.WriteString(s.suffix)
+		if len(s.labels) > 0 {
+			buf.WriteByte('{')
+			for i, l := range s.labels {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				buf.WriteString(l.Key)
+				buf.WriteString(`="`)
+				buf.WriteString(escapeLabel(l.Value))
+				buf.WriteByte('"')
+			}
+			buf.WriteByte('}')
+		}
+		buf.WriteByte(' ')
+		buf.WriteString(formatValue(s.value))
+		buf.WriteByte('\n')
+	}
+}
+
+// samples snapshots the family's current exposition lines.
+func (f *family) samples() []sample {
+	if f.collect != nil {
+		collected := f.collect()
+		out := make([]sample, 0, len(collected))
+		for _, c := range collected {
+			if len(c.Labels) != len(f.labelKeys) {
+				panic(fmt.Sprintf("obs: metric %q collect returned %d label value(s), want %d", f.name, len(c.Labels), len(f.labelKeys)))
+			}
+			labels := make([]Label, len(f.labelKeys))
+			for i, k := range f.labelKeys {
+				labels[i] = Label{Key: k, Value: c.Labels[i]}
+			}
+			out = append(out, sample{labels: labels, value: c.Value})
+		}
+		sortSamples(out)
+		return out
+	}
+
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		children = append(children, ch)
+	}
+	f.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].labelVals, "\x00") < strings.Join(children[j].labelVals, "\x00")
+	})
+	var out []sample
+	for _, ch := range children {
+		labels := make([]Label, len(f.labelKeys))
+		for i, k := range f.labelKeys {
+			labels[i] = Label{Key: k, Value: ch.labelVals[i]}
+		}
+		switch {
+		case ch.c != nil:
+			out = append(out, sample{labels: labels, value: float64(ch.c.Value())})
+		case ch.g != nil:
+			out = append(out, sample{labels: labels, value: float64(ch.g.Value())})
+		case ch.h != nil:
+			out = append(out, ch.h.snapshot(labels)...)
+		}
+	}
+	return out
+}
+
+func sortSamples(ss []sample) {
+	sort.Slice(ss, func(i, j int) bool {
+		a, b := ss[i], ss[j]
+		for k := 0; k < len(a.labels) && k < len(b.labels); k++ {
+			if a.labels[k].Value != b.labels[k].Value {
+				return a.labels[k].Value < b.labels[k].Value
+			}
+		}
+		return len(a.labels) < len(b.labels)
+	})
+}
+
+// formatValue renders integers without an exponent (the common case:
+// every counter) and everything else in shortest float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func mustValidName(name string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+func mustValidLabel(name string) {
+	if !validLabelName(name) {
+		panic(fmt.Sprintf("obs: invalid label name %q", name))
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "Jobs queued.")
+	g.Set(7)
+	v := r.CounterVec("test_jobs_total", "Jobs by state.", "state")
+	v.With("done").Add(2)
+	v.With("failed").Inc()
+	h := r.Histogram("test_latency_us", "Latency.")
+	h.Observe(100)
+	h.Observe(200)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	r.GaugeSamplesFunc("test_runner_inflight", "Per-runner in-flight.", []string{"runner"}, func() []Sample {
+		return []Sample{{Labels: []string{"r2"}, Value: 1}, {Labels: []string{"r1"}, Value: 4}}
+	})
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.\n# TYPE test_requests_total counter\ntest_requests_total 3\n",
+		"# TYPE test_queue_depth gauge\ntest_queue_depth 7\n",
+		"test_jobs_total{state=\"done\"} 2\n",
+		"test_jobs_total{state=\"failed\"} 1\n",
+		"# TYPE test_latency_us summary\n",
+		"test_latency_us{quantile=\"0.5\"} ",
+		"test_latency_us_sum 300\n",
+		"test_latency_us_count 2\n",
+		"test_uptime_seconds 1.5\n",
+		// samples of func-backed families are sorted by label value
+		"test_runner_inflight{runner=\"r1\"} 4\ntest_runner_inflight{runner=\"r2\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("rendered exposition fails its own lint: %v", err)
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_total", "z.").Inc()
+	r.Counter("aaa_total", "a.").Inc()
+	out := render(t, r)
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+	if out != render(t, r) {
+		t.Fatal("two renders of an unchanged registry differ")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc_total", "Escapes.", "path").With("a\"b\\c\nd").Inc()
+	out := render(t, r)
+	want := `test_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped label missing, want %q in:\n%s", want, out)
+	}
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("lint rejects escaped labels: %v", err)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("test_shared_total", "Shared.", "k")
+	b := r.CounterVec("test_shared_total", "Shared (other help).", "k")
+	a.With("x").Add(2)
+	b.With("x").Inc()
+	if got := a.With("x").Value(); got != 3 {
+		t.Fatalf("shared family children diverged: got %d, want 3", got)
+	}
+	h1 := PhaseHist(r)
+	h2 := PhaseHist(r)
+	h1.With("simulate").Observe(1)
+	h2.With("simulate").Observe(1)
+	out := render(t, r)
+	if !strings.Contains(out, `hybridmem_phase_duration_us_count{phase="simulate"} 2`) {
+		t.Fatalf("phase family not shared:\n%s", out)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "c.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_total", "g.")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad name", "x.")
+}
+
+// TestNilRegistryZeroAllocs pins the disabled-observability contract: a
+// nil registry hands out nil handles whose operations neither allocate
+// nor crash — the sim hot path can carry them unconditionally.
+func TestNilRegistryZeroAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x.")
+	g := r.Gauge("x", "x.")
+	h := r.Histogram("x_us", "x.")
+	cv := r.CounterVec("xv_total", "x.", "k")
+	hv := r.HistogramVec("xv_us", "x.", "k")
+	r.GaugeFunc("xf", "x.", func() float64 { return 0 })
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry write: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(5)
+		h.ObserveDuration(time.Microsecond)
+		cv.With("a").Inc()
+		hv.With("a").Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled metrics allocate: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterZeroAllocs pins that live counter/gauge updates are
+// allocation-free too — they sit on serving hot paths.
+func TestEnabledCounterZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "x.")
+	g := r.Gauge("hot", "x.")
+	h := r.Histogram("hot_us", "x.")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled counter/gauge/histogram updates allocate: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestRegistryMonotonicAcrossRenders(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "x.")
+	c.Add(5)
+	first := render(t, r)
+	c.Add(2)
+	second := render(t, r)
+	if err := LintMonotonic([]byte(first), []byte(second)); err != nil {
+		t.Fatalf("monotonic counters flagged: %v", err)
+	}
+	if err := LintMonotonic([]byte(second), []byte(first)); err == nil {
+		t.Fatal("decreasing counter not flagged")
+	}
+}

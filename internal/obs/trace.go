@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute of a span or event.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Event is one flight-recorder entry: a span transition or a point
+// event inside a span. It is also the wire form runner nodes use to
+// echo their shard-execution timeline back to the coordinator
+// (cluster.ShardResponse.Events).
+type Event struct {
+	// TimeUnixNano is the event's wall-clock timestamp.
+	TimeUnixNano int64 `json:"ts"`
+	// Trace, Span and Parent identify the span tree this event belongs
+	// to; Parent is the enclosing span for span_start events.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Name is the span name (span_start/span_end) or the event name.
+	Name string `json:"name"`
+	// Kind is "span_start", "span_end" or "event".
+	Kind string `json:"kind"`
+	// DurUS is the span duration in microseconds, set on span_end.
+	DurUS int64  `json:"dur_us,omitempty"`
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer mints trace and span IDs and records span transitions into a
+// flight recorder. A nil Tracer is disabled: it hands out nil spans,
+// whose methods are allocation-free no-ops.
+type Tracer struct {
+	sink *FlightRecorder
+	base uint64
+	seq  atomic.Uint64
+}
+
+// NewTracer returns a tracer recording into sink; a nil sink yields a
+// nil (disabled) tracer.
+func NewTracer(sink *FlightRecorder) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, base: uint64(time.Now().UnixNano())}
+}
+
+// nextID returns a process-unique 16-hex-digit ID. Uniqueness comes
+// from the bijective odd-constant multiply over the sequence number;
+// the time base distinguishes tracers across processes well enough for
+// a debugging timeline.
+func (t *Tracer) nextID() string {
+	n := t.seq.Add(1)
+	return strconv.FormatUint(t.base^(n*0x9e3779b97f4a7c15), 16)
+}
+
+// Span is one timed operation in a trace tree. A nil Span is a no-op:
+// Child returns nil, Event and End do nothing — tracing disabled (or an
+// unsampled path) costs nothing.
+type Span struct {
+	t      *Tracer
+	trace  string
+	id     string
+	parent string
+	name   string
+	start  time.Time
+}
+
+// StartSpan starts a new root span, minting a fresh trace ID.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(t.nextID(), "", name, attrs)
+}
+
+// StartRemote starts a span continuing a trace begun elsewhere —
+// typically a runner node picking up the coordinator's shard span via
+// the wire trace context.
+func (t *Tracer) StartRemote(traceID, parentSpanID, name string, attrs ...Attr) *Span {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	return t.start(traceID, parentSpanID, name, attrs)
+}
+
+func (t *Tracer) start(traceID, parent, name string, attrs []Attr) *Span {
+	s := &Span{t: t, trace: traceID, id: t.nextID(), parent: parent, name: name, start: time.Now()}
+	t.sink.Record(Event{
+		TimeUnixNano: s.start.UnixNano(),
+		Trace:        s.trace, Span: s.id, Parent: s.parent,
+		Name: name, Kind: "span_start", Attrs: attrs,
+	})
+	return s
+}
+
+// Child starts a sub-span of s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.start(s.trace, s.id, name, attrs)
+}
+
+// Event records a point event inside the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.sink.Record(Event{
+		TimeUnixNano: time.Now().UnixNano(),
+		Trace:        s.trace, Span: s.id,
+		Name: name, Kind: "event", Attrs: attrs,
+	})
+}
+
+// End closes the span, recording its duration.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.sink.Record(Event{
+		TimeUnixNano: now.UnixNano(),
+		Trace:        s.trace, Span: s.id, Parent: s.parent,
+		Name: s.name, Kind: "span_end",
+		DurUS: now.Sub(s.start).Microseconds(), Attrs: attrs,
+	})
+}
+
+// TraceID returns the span's trace ID, "" for a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// SpanID returns the span's ID, "" for a nil span.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to a context; a nil span returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the span attached to ctx, nil when absent.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

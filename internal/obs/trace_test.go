@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	rec := NewFlightRecorder(64)
+	tr := NewTracer(rec)
+	root := tr.StartSpan("job", String("job_id", "j1"))
+	child := root.Child("batch", Int("runs", 12))
+	child.Event("phase:frontier_fold", Int("us", 5))
+	child.End()
+	root.End()
+
+	evs := rec.Snapshot()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	if evs[0].Kind != "span_start" || evs[0].Name != "job" {
+		t.Fatalf("first event = %+v, want job span_start", evs[0])
+	}
+	if evs[1].Parent != evs[0].Span {
+		t.Fatalf("child span parent = %q, want root span %q", evs[1].Parent, evs[0].Span)
+	}
+	for _, e := range evs {
+		if e.Trace != evs[0].Trace {
+			t.Fatalf("event %+v not in root trace %q", e, evs[0].Trace)
+		}
+	}
+	if evs[2].Kind != "event" || evs[2].Span != evs[1].Span {
+		t.Fatalf("span event misattributed: %+v", evs[2])
+	}
+	if evs[3].Kind != "span_end" || evs[3].DurUS < 0 {
+		t.Fatalf("span_end malformed: %+v", evs[3])
+	}
+}
+
+func TestRemoteSpanContinuesTrace(t *testing.T) {
+	coord := NewTracer(NewFlightRecorder(16))
+	shard := coord.StartSpan("shard")
+
+	// The runner side: a fresh tracer continuing the coordinator's
+	// trace through the wire-carried IDs.
+	rec := NewFlightRecorder(16)
+	remote := NewTracer(rec).StartRemote(shard.TraceID(), shard.SpanID(), "runner_shard")
+	remote.End()
+	evs := rec.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d runner events, want 2", len(evs))
+	}
+	if evs[0].Trace != shard.TraceID() || evs[0].Parent != shard.SpanID() {
+		t.Fatalf("remote span not linked: %+v", evs[0])
+	}
+}
+
+func TestNilTracerAndSpanNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s := sp.Child("y")
+		s.Event("e")
+		s.End()
+		_ = sp.TraceID()
+		_ = sp.SpanID()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled spans allocate: %v allocs/op, want 0", allocs)
+	}
+	if NewTracer(nil) != nil {
+		t.Fatal("tracer without a sink should be nil (disabled)")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer(NewFlightRecorder(16))
+	sp := tr.StartSpan("job")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFrom(ctx); got != sp {
+		t.Fatalf("SpanFrom = %v, want %v", got, sp)
+	}
+	if got := SpanFrom(context.Background()); got != nil {
+		t.Fatalf("SpanFrom(empty) = %v, want nil", got)
+	}
+	if ctx2 := ContextWithSpan(context.Background(), nil); SpanFrom(ctx2) != nil {
+		t.Fatal("nil span attached to context")
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	for i := 0; i < 7; i++ {
+		rec.Record(Event{Name: string(rune('a' + i)), Kind: "event"})
+	}
+	if rec.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", rec.Total())
+	}
+	evs := rec.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest-first: d e f g survive.
+	want := []string{"d", "e", "f", "g"}
+	for i, e := range evs {
+		if e.Name != want[i] {
+			t.Fatalf("event %d = %q, want %q (snapshot %v)", i, e.Name, want[i], evs)
+		}
+	}
+}
+
+func TestFlightRecorderJSONDump(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	tr := NewTracer(rec)
+	tr.StartSpan("x").End()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Total != 2 || len(dump.Events) != 2 {
+		t.Fatalf("dump = total %d, %d events; want 2, 2", dump.Total, len(dump.Events))
+	}
+
+	// A nil recorder still dumps a valid, empty document.
+	buf.Reset()
+	var nilRec *FlightRecorder
+	if err := nilRec.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("nil dump invalid: %v", err)
+	}
+}
+
+func TestObsBundle(t *testing.T) {
+	o := New(Options{FlightEvents: 8})
+	if o.Registry() == nil || o.Tracer() == nil || o.Flight() == nil {
+		t.Fatal("enabled bundle has nil components")
+	}
+	var disabled *Obs
+	if disabled.Registry() != nil || disabled.Tracer() != nil || disabled.Flight() != nil {
+		t.Fatal("nil bundle leaked components")
+	}
+	nop := Nop()
+	if nop.Registry() != nil || nop.Tracer() != nil || nop.Flight() != nil {
+		t.Fatal("Nop bundle leaked components")
+	}
+}

@@ -425,7 +425,7 @@ func (s *Server) persistJobSpec(j *job) {
 		err = atomicfile.Write(s.statePath("job", j.ID), data)
 	}
 	if err != nil {
-		s.opts.Logf("serve: persist job %s: %v", j.ID, err)
+		s.opts.Log.Warn("serve: persist job spec failed", "job", j.ID, "err", err)
 	}
 }
 
@@ -453,12 +453,12 @@ func (s *Server) recoverJobs() error {
 		id := strings.TrimSuffix(strings.TrimPrefix(name, "job-"), ".json")
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			s.opts.Logf("serve: recover %s: %v", name, err)
+			s.opts.Log.Warn("serve: recover job failed", "file", name, "err", err)
 			continue
 		}
 		var spec persistedJob
 		if err := json.Unmarshal(data, &spec); err != nil {
-			s.opts.Logf("serve: recover %s: %v", name, err)
+			s.opts.Log.Warn("serve: recover job failed", "file", name, "err", err)
 			continue
 		}
 		// A spec whose kind and payload disagree (schema skew, an edited
@@ -467,7 +467,7 @@ func (s *Server) recoverJobs() error {
 		ok := (spec.Kind == "sweep" && spec.Sweep != nil) ||
 			(spec.Kind == "explore" && spec.Explore != nil)
 		if !ok {
-			s.opts.Logf("serve: recover %s: malformed job spec (kind %q)", name, spec.Kind)
+			s.opts.Log.Warn("serve: recovered job spec is malformed", "file", name, "kind", spec.Kind)
 			continue
 		}
 		j := newJob(id, spec.Kind)
@@ -484,7 +484,7 @@ func (s *Server) recoverJobs() error {
 			continue
 		}
 		if _, err := s.jobs.submit(j); err != nil {
-			s.opts.Logf("serve: recover %s: %v", id, err)
+			s.opts.Log.Warn("serve: resubmit recovered job failed", "job", id, "err", err)
 		}
 	}
 	return nil

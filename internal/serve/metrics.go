@@ -1,141 +1,170 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"hybridmem/internal/stats"
+	"hybridmem/internal/obs"
 )
 
-// metrics aggregates the server's operational counters: per-endpoint
-// request counts and latency histograms, job outcomes, and the
-// singleflight share counter. Cache statistics and queue gauges live
-// with their owners and are folded in by the /metrics handler.
+// metrics is the server's face of the shared observability plane: every
+// operational counter, gauge and latency summary lives in one
+// obs.Registry, which also renders /metrics. Directly-updated handles
+// are registered here once; statistics owned elsewhere — store tiers,
+// queue depths, cluster dispatch counters — fold in as func-backed
+// families read at scrape time, so the owners stay the single source of
+// truth and there is exactly one rendering path.
 type metrics struct {
-	start time.Time
+	reg *obs.Registry
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
+	requests *obs.CounterVec   // hybridmem_http_requests_total{path}
+	latency  *obs.HistogramVec // hybridmem_http_request_duration_us{path}
 
-	jobsDone     atomic.Uint64
-	jobsFailed   atomic.Uint64
-	flightShared atomic.Uint64
-	inflightSims atomic.Int64
+	jobsDone     *obs.Counter
+	jobsFailed   *obs.Counter
+	flightShared *obs.Counter
+	inflightSims *obs.Gauge
+
+	// Per-phase request timers, children of the process-wide phase
+	// family (obs.PhaseHist) shared with the cluster layer.
+	phaseCanon  *obs.Histogram
+	phaseLookup *obs.Histogram
+	phaseSim    *obs.Histogram
 }
 
-type endpointMetrics struct {
-	count uint64
-	lat   stats.Histogram // request latency, microseconds
-}
+// newMetrics registers the server's metric families on its observability
+// plane's registry. With a disabled plane (obs.Nop) the registry is nil,
+// every handle comes back nil, and all updates are allocation-free
+// no-ops. s.store and s.opts must be set; s.jobs need not exist yet
+// (the queue gauges read it at scrape time).
+func newMetrics(s *Server) *metrics {
+	r := s.opts.Obs.Registry()
+	m := &metrics{reg: r}
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics)}
-}
+	start := time.Now()
+	r.GaugeFunc("hybridmem_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc("hybridmem_draining", "1 while the server drains for shutdown, 0 otherwise.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 
-// observe records one served request against its endpoint label.
-func (m *metrics) observe(label string, d time.Duration) {
-	us := uint64(d.Microseconds())
-	m.mu.Lock()
-	em := m.endpoints[label]
-	if em == nil {
-		em = &endpointMetrics{}
-		m.endpoints[label] = em
-	}
-	em.count++
-	em.lat.Add(us)
-	m.mu.Unlock()
-}
-
-// instrument wraps a handler so its latency lands in the endpoint's
-// histogram under the given route label.
-func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		h(w, r)
-		s.metrics.observe(label, time.Since(start))
-	}
-}
-
-// handleMetrics renders every counter in the text exposition format
-// (Prometheus-compatible lines, deterministically ordered).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	m := s.metrics
-	cs := s.store.Stats()
-	fmt.Fprintf(w, "hybridmem_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "hybridmem_draining %d\n", boolGauge(s.draining.Load()))
 	// The hybridmem_cache_* family is the store's memory tier, keeping
 	// the names stable across the move into internal/store.
-	fmt.Fprintf(w, "hybridmem_cache_hits_total %d\n", cs.MemHits)
-	fmt.Fprintf(w, "hybridmem_cache_misses_total %d\n", cs.MemMisses)
-	fmt.Fprintf(w, "hybridmem_cache_evictions_total %d\n", cs.MemEvictions)
-	fmt.Fprintf(w, "hybridmem_cache_entries %d\n", cs.MemEntries)
-	fmt.Fprintf(w, "hybridmem_cache_bytes %d\n", cs.MemBytes)
-	fmt.Fprintf(w, "hybridmem_cache_capacity_bytes %d\n", s.opts.CacheBytes)
-	fmt.Fprintf(w, "hybridmem_cache_capacity_entries %d\n", s.opts.CacheEntries)
+	r.CounterFunc("hybridmem_cache_hits_total", "Result documents served from the store's memory tier.",
+		func() float64 { return float64(s.store.Stats().MemHits) })
+	r.CounterFunc("hybridmem_cache_misses_total", "Result lookups that missed the store's memory tier.",
+		func() float64 { return float64(s.store.Stats().MemMisses) })
+	r.CounterFunc("hybridmem_cache_evictions_total", "Entries evicted from the store's memory tier.",
+		func() float64 { return float64(s.store.Stats().MemEvictions) })
+	r.GaugeFunc("hybridmem_cache_entries", "Entries resident in the store's memory tier.",
+		func() float64 { return float64(s.store.Stats().MemEntries) })
+	r.GaugeFunc("hybridmem_cache_bytes", "Bytes resident in the store's memory tier.",
+		func() float64 { return float64(s.store.Stats().MemBytes) })
+	r.GaugeFunc("hybridmem_cache_capacity_bytes", "Configured byte bound of the memory tier.",
+		func() float64 { return float64(s.opts.CacheBytes) })
+	r.GaugeFunc("hybridmem_cache_capacity_entries", "Configured entry bound of the memory tier.",
+		func() float64 { return float64(s.opts.CacheEntries) })
+	r.GaugeFunc("hybridmem_cache_hit_ratio", "Memory-tier hits over lookups; 0 before any lookup.",
+		func() float64 {
+			cs := s.store.Stats()
+			total := cs.MemHits + cs.MemMisses
+			if total == 0 {
+				return 0
+			}
+			return float64(cs.MemHits) / float64(total)
+		})
 	if s.store.HasDisk() {
-		fmt.Fprintf(w, "hybridmem_store_disk_hits_total %d\n", cs.DiskHits)
-		fmt.Fprintf(w, "hybridmem_store_disk_misses_total %d\n", cs.DiskMisses)
-		fmt.Fprintf(w, "hybridmem_store_disk_evictions_total %d\n", cs.DiskEvictions)
-		fmt.Fprintf(w, "hybridmem_store_corrupt_discarded_total %d\n", cs.DiskCorrupt)
-		fmt.Fprintf(w, "hybridmem_store_disk_entries %d\n", cs.DiskEntries)
-		fmt.Fprintf(w, "hybridmem_store_disk_bytes %d\n", cs.DiskBytes)
-		fmt.Fprintf(w, "hybridmem_store_disk_capacity_bytes %d\n", s.opts.StoreMaxBytes)
-	}
-	fmt.Fprintf(w, "hybridmem_sims_total %d\n", s.sims.Load())
-	fmt.Fprintf(w, "hybridmem_singleflight_shared_total %d\n", m.flightShared.Load())
-	fmt.Fprintf(w, "hybridmem_inflight_sims %d\n", m.inflightSims.Load())
-	fmt.Fprintf(w, "hybridmem_jobs_queue_depth %d\n", len(s.jobs.queue))
-	fmt.Fprintf(w, "hybridmem_jobs_queue_capacity %d\n", cap(s.jobs.queue))
-	fmt.Fprintf(w, "hybridmem_jobs_running %d\n", s.jobs.running.Load())
-	fmt.Fprintf(w, "hybridmem_jobs_total{state=\"done\"} %d\n", m.jobsDone.Load())
-	fmt.Fprintf(w, "hybridmem_jobs_total{state=\"failed\"} %d\n", m.jobsFailed.Load())
-
-	if c := s.opts.Cluster; c != nil {
-		st := c.Stats()
-		fmt.Fprintf(w, "hybridmem_cluster_runners_live %d\n", st.RunnersLive)
-		fmt.Fprintf(w, "hybridmem_cluster_runners_joined_total %d\n", st.RunnersJoined)
-		fmt.Fprintf(w, "hybridmem_cluster_runners_dropped_total %d\n", st.RunnersDropped)
-		fmt.Fprintf(w, "hybridmem_cluster_shards_dispatched_total %d\n", st.ShardsDispatched)
-		fmt.Fprintf(w, "hybridmem_cluster_shards_completed_total %d\n", st.ShardsCompleted)
-		fmt.Fprintf(w, "hybridmem_cluster_shards_stolen_total %d\n", st.ShardsStolen)
-		fmt.Fprintf(w, "hybridmem_cluster_shards_retried_total %d\n", st.ShardsRetried)
-		fmt.Fprintf(w, "hybridmem_cluster_duplicates_dropped_total %d\n", st.DuplicatesDropped)
-		fmt.Fprintf(w, "hybridmem_cluster_local_shards_total %d\n", st.LocalShards)
-		fmt.Fprintf(w, "hybridmem_cluster_shards_warm_total %d\n", st.ShardsWarm)
-		for _, rs := range st.Runners {
-			fmt.Fprintf(w, "hybridmem_cluster_runner_inflight{runner=%q} %d\n", rs.ID, rs.InFlight)
-			fmt.Fprintf(w, "hybridmem_cluster_runner_shards_total{runner=%q} %d\n", rs.ID, rs.Dispatched)
-		}
+		r.CounterFunc("hybridmem_store_disk_hits_total", "Result documents served from the store's disk tier.",
+			func() float64 { return float64(s.store.Stats().DiskHits) })
+		r.CounterFunc("hybridmem_store_disk_misses_total", "Result lookups that missed the disk tier too.",
+			func() float64 { return float64(s.store.Stats().DiskMisses) })
+		r.CounterFunc("hybridmem_store_disk_evictions_total", "Entries garbage-collected from the disk tier.",
+			func() float64 { return float64(s.store.Stats().DiskEvictions) })
+		r.CounterFunc("hybridmem_store_corrupt_discarded_total", "Disk entries discarded for checksum or decode failures.",
+			func() float64 { return float64(s.store.Stats().DiskCorrupt) })
+		r.GaugeFunc("hybridmem_store_disk_entries", "Entries resident in the disk tier.",
+			func() float64 { return float64(s.store.Stats().DiskEntries) })
+		r.GaugeFunc("hybridmem_store_disk_bytes", "Bytes resident in the disk tier.",
+			func() float64 { return float64(s.store.Stats().DiskBytes) })
+		r.GaugeFunc("hybridmem_store_disk_capacity_bytes", "Configured byte bound of the disk tier; 0 means unbounded.",
+			func() float64 { return float64(s.opts.StoreMaxBytes) })
 	}
 
-	m.mu.Lock()
-	labels := make([]string, 0, len(m.endpoints))
-	for l := range m.endpoints {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels)
-	for _, l := range labels {
-		em := m.endpoints[l]
-		fmt.Fprintf(w, "hybridmem_http_requests_total{path=%q} %d\n", l, em.count)
-		fmt.Fprintf(w, "hybridmem_http_request_duration_us{path=%q,stat=\"mean\"} %.0f\n", l, em.lat.Mean())
-		for _, q := range []struct {
-			name string
-			p    float64
-		}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
-			fmt.Fprintf(w, "hybridmem_http_request_duration_us{path=%q,stat=%q} %d\n", l, q.name, em.lat.Percentile(q.p))
-		}
-	}
-	m.mu.Unlock()
+	r.RegisterCounter("hybridmem_sims_total",
+		"Engine simulations actually executed (memo, store and singleflight hits excluded).", &s.sims)
+	m.flightShared = r.Counter("hybridmem_singleflight_shared_total",
+		"Requests that shared another in-flight identical simulation's result.")
+	m.inflightSims = r.Gauge("hybridmem_inflight_sims",
+		"Simulations currently executing on behalf of requests and jobs.")
+
+	r.GaugeFunc("hybridmem_jobs_queue_depth", "Jobs queued but not yet running.",
+		func() float64 {
+			if s.jobs == nil {
+				return 0
+			}
+			return float64(len(s.jobs.queue))
+		})
+	r.GaugeFunc("hybridmem_jobs_queue_capacity", "Configured bound of the job queue.",
+		func() float64 {
+			if s.jobs == nil {
+				return 0
+			}
+			return float64(cap(s.jobs.queue))
+		})
+	r.GaugeFunc("hybridmem_jobs_running", "Jobs currently executing on the worker pool.",
+		func() float64 {
+			if s.jobs == nil {
+				return 0
+			}
+			return float64(s.jobs.running.Load())
+		})
+	jobs := r.CounterVec("hybridmem_jobs_total", "Settled jobs by outcome.", "state")
+	m.jobsDone = jobs.With("done")
+	m.jobsFailed = jobs.With("failed")
+
+	m.requests = r.CounterVec("hybridmem_http_requests_total", "Requests served, by route.", "path")
+	m.latency = r.HistogramVec("hybridmem_http_request_duration_us",
+		"Request latency in microseconds, by route.", "path")
+
+	phases := obs.PhaseHist(r)
+	m.phaseCanon = phases.With("canonicalize")
+	m.phaseLookup = phases.With("store_lookup")
+	m.phaseSim = phases.With("simulate")
+	return m
 }
 
-func boolGauge(b bool) int {
-	if b {
-		return 1
+// instrument wraps a handler so each request is counted, timed into the
+// route's latency summary, and — when tracing is on — executed under an
+// http_request span carried by the request context.
+func (s *Server) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
+	count := s.metrics.requests.With(label)
+	lat := s.metrics.latency.With(label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if sp := s.opts.Obs.Tracer().StartSpan("http_request", obs.String("path", label)); sp != nil {
+			defer sp.End()
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
+		h(w, r)
+		count.Inc()
+		lat.ObserveDuration(time.Since(start))
 	}
-	return 0
+}
+
+// handleMetrics renders the registry as canonical Prometheus text
+// exposition (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// handleDebugEvents dumps the flight recorder — the bounded ring of
+// recent span events — as one JSON document.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.opts.Obs.Flight().WriteJSON(w)
 }

@@ -69,7 +69,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -85,6 +87,7 @@ import (
 	_ "hybridmem/internal/design/all" // link every built-in organization into the registry
 	"hybridmem/internal/dse"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/sim"
 	"hybridmem/internal/store"
 	"hybridmem/internal/workload"
@@ -153,8 +156,16 @@ type Options struct {
 	// LocalFallback set, a pool with no live runners degrades to exactly
 	// the local path.
 	Cluster *cluster.Coordinator
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Obs is the server's observability plane: its registry backs
+	// /metrics (and, when Cluster is set, receives the coordinator's
+	// dispatch counters), its tracer turns requests and jobs into spans,
+	// and its flight recorder backs /debug/events. nil means a fresh
+	// enabled plane; pass obs.Nop() for a fully disabled one (empty
+	// /metrics, no spans, zero observability allocations).
+	Obs *obs.Obs
+	// Log receives structured operational log records; nil discards
+	// them.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -188,8 +199,11 @@ func (o Options) withDefaults() Options {
 	if o.MaxInstrPerCore == 0 {
 		o.MaxInstrPerCore = 64 << 20
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Obs == nil {
+		o.Obs = obs.New(obs.Options{})
+	}
+	if o.Log == nil {
+		o.Log = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -207,8 +221,9 @@ type Server struct {
 	syncSem  chan struct{} // bounds inline simulations (/v1/run, /v1/replay)
 	// sims counts engine simulations actually executed on behalf of
 	// this server — memo and store hits don't count — wired as the
-	// SimCounter of every runner the server creates.
-	sims atomic.Uint64
+	// SimCounter of every runner the server creates and attached to the
+	// registry as hybridmem_sims_total.
+	sims obs.Counter
 
 	// Execution seams. Tests substitute counting or blocking stand-ins
 	// to pin the concurrency contracts (one simulation per fingerprint,
@@ -239,8 +254,11 @@ func New(opts Options) (*Server, error) {
 		opts:    opts,
 		store:   st,
 		flight:  store.NewFlight[[]byte](),
-		metrics: newMetrics(),
 		syncSem: make(chan struct{}, opts.MaxSyncSims),
+	}
+	s.metrics = newMetrics(s)
+	if opts.Cluster != nil {
+		opts.Cluster.RegisterMetrics(s.metrics.reg)
 	}
 	s.runOne = s.defaultRunOne
 	s.runSweep = s.defaultRunSweep
@@ -293,6 +311,12 @@ func (s *Server) buildMux() {
 		mux.HandleFunc("POST /cluster/v1/join", c.HandleJoin)
 		mux.HandleFunc("POST /cluster/v1/heartbeat", c.HandleHeartbeat)
 	}
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	s.mux = mux
 }
 
@@ -500,6 +524,13 @@ func (s *Server) defaultRunExplore(ctx context.Context, req exploreRequest, chec
 		Store:              s.store,
 		SimCounter:         &s.sims,
 	}
+	// Frontier folds land in the shared phase family; the hook is not
+	// part of the search fingerprint, so checkpoints are unaffected.
+	if phases := obs.PhaseHist(s.opts.Obs.Registry()); phases != nil {
+		opts.Phase = func(name string, d time.Duration) {
+			phases.With(name).ObserveDuration(d)
+		}
+	}
 	if s.opts.Cluster != nil {
 		// The search stays on this server (RNG, frontier, checkpoints);
 		// only its evaluation batches fan out across the runner pool.
@@ -515,9 +546,20 @@ func (s *Server) defaultRunExplore(ctx context.Context, req exploreRequest, chec
 // is cached and (when persistence is on) written next to the job spec.
 func (s *Server) runJob(ctx context.Context, j *job) {
 	j.start()
+	// The job span is the root of a sweep's or exploration's timeline:
+	// cluster batches and shards hang off it through the context.
+	sp := s.opts.Obs.Tracer().StartSpan("job",
+		obs.String("job", j.ID), obs.String("kind", j.Kind))
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	s.opts.Log.Info("serve: job started", "job", j.ID, "kind", j.Kind)
 	var data []byte
 	var err error
-	if cached, _, ok := s.store.Get(j.ID); ok {
+	lookupStart := time.Now()
+	cached, _, ok := s.store.Get(j.ID)
+	s.metrics.phaseLookup.ObserveDuration(time.Since(lookupStart))
+	if ok {
+		sp.Event("result_cached")
 		data = cached
 	} else {
 		s.metrics.inflightSims.Add(1)
@@ -536,7 +578,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	if err == nil && s.opts.StateDir != "" {
 		if werr := atomicfile.Write(s.statePath("result", j.ID), data); werr != nil {
-			s.opts.Logf("serve: persist result %s: %v", j.ID, werr)
+			s.opts.Log.Warn("serve: persist result failed", "job", j.ID, "err", werr)
 		}
 		if j.Kind == "explore" {
 			os.Remove(s.statePath("ckpt", j.ID)) // resumed no more; the result is final
@@ -544,10 +586,11 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	}
 	j.finish(data, err)
 	if err != nil {
-		s.metrics.jobsFailed.Add(1)
-		s.opts.Logf("serve: job %s (%s) failed: %v", j.ID, j.Kind, err)
+		s.metrics.jobsFailed.Inc()
+		s.opts.Log.Warn("serve: job failed", "job", j.ID, "kind", j.Kind, "err", err)
 	} else {
-		s.metrics.jobsDone.Add(1)
+		s.metrics.jobsDone.Inc()
+		s.opts.Log.Info("serve: job done", "job", j.ID, "kind", j.Kind)
 	}
 }
 
@@ -569,7 +612,9 @@ func (s *Server) execSweep(ctx context.Context, j *job) ([]byte, error) {
 	if s.opts.Cluster != nil {
 		return s.execClusterSweep(ctx, *req, progress)
 	}
+	simStart := time.Now()
 	res, err := s.runSweep(ctx, req.Designs, req.Workloads, req.Config, progress)
+	s.metrics.phaseSim.ObserveDuration(time.Since(simStart))
 	if err != nil {
 		return nil, err
 	}
@@ -751,8 +796,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
 	}
+	canonStart := time.Now()
 	key := runKey(req)
-	if data, _, ok := s.store.Get(key); ok {
+	s.metrics.phaseCanon.ObserveDuration(time.Since(canonStart))
+	lookupStart := time.Now()
+	data, _, ok := s.store.Get(key)
+	s.metrics.phaseLookup.ObserveDuration(time.Since(lookupStart))
+	if ok {
 		writeDoc(w, data)
 		return
 	}
@@ -768,7 +818,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer s.releaseSync()
 		s.metrics.inflightSims.Add(1)
 		defer s.metrics.inflightSims.Add(-1)
+		simStart := time.Now()
 		sr, err := s.runOne(req.Design, req.Workload, req.Config)
+		s.metrics.phaseSim.ObserveDuration(time.Since(simStart))
 		if err != nil {
 			return nil, err
 		}
@@ -780,7 +832,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return doc, nil
 	})
 	if shared {
-		s.metrics.flightShared.Add(1)
+		s.metrics.flightShared.Inc()
 	}
 	switch {
 	case errors.Is(err, errBusy):

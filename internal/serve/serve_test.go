@@ -383,7 +383,7 @@ func TestExploreJobResumesFromCheckpoint(t *testing.T) {
 	// Simulate the pre-restart server: the job spec is persisted and one
 	// batch ran before the interruption, leaving a checkpoint behind.
 	spec, _ := json.Marshal(persistedJob{Kind: "explore", Explore: &req})
-	s0 := &Server{opts: Options{StateDir: dir, Logf: func(string, ...any) {}}}
+	s0 := &Server{opts: Options{StateDir: dir}}
 	if err := writeFile(s0.statePath("job", id), spec); err != nil {
 		t.Fatal(err)
 	}
@@ -550,12 +550,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	out := w.Body.String()
 	for _, want := range []string{
+		"# TYPE hybridmem_cache_hits_total counter",
 		"hybridmem_cache_hits_total 1",
 		"hybridmem_cache_misses_total 1",
 		"hybridmem_jobs_queue_depth 0",
 		"hybridmem_inflight_sims 0",
 		`hybridmem_http_requests_total{path="/v1/run"} 2`,
-		`hybridmem_http_request_duration_us{path="/v1/run",stat="p50"}`,
+		`hybridmem_http_request_duration_us{path="/v1/run",quantile="0.5"}`,
+		`hybridmem_http_request_duration_us_count{path="/v1/run"} 2`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q:\n%s", want, out)

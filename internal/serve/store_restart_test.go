@@ -45,7 +45,7 @@ func TestStoreServesAcrossRestarts(t *testing.T) {
 	if sweepRespCold.Code != http.StatusOK {
 		t.Fatalf("cold sweep result: %d", sweepRespCold.Code)
 	}
-	if got := s1.sims.Load(); got == 0 {
+	if got := s1.sims.Value(); got == 0 {
 		t.Fatal("cold server executed no simulations")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -78,7 +78,7 @@ func TestStoreServesAcrossRestarts(t *testing.T) {
 	if !bytes.Equal(sweepRespWarm.Body.Bytes(), sweepRespCold.Body.Bytes()) {
 		t.Fatal("warm sweep document differs from cold")
 	}
-	if got := s2.sims.Load(); got != 0 {
+	if got := s2.sims.Value(); got != 0 {
 		t.Fatalf("warm server executed %d simulations, want 0", got)
 	}
 	st := s2.store.Stats()

@@ -35,6 +35,9 @@ func (h *Histogram) Add(v uint64) {
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the sum of the recorded samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
 // Mean returns the arithmetic mean of the recorded samples, 0 when empty.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {

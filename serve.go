@@ -4,11 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hybridmem/internal/cluster"
+	"hybridmem/internal/obs"
 	"hybridmem/internal/serve"
 	"hybridmem/internal/store"
 )
@@ -56,8 +61,17 @@ type ServeOptions struct {
 	// canceled (explorations flush a final checkpoint and resume on
 	// restart). <= 0 means 30s.
 	DrainTimeout time.Duration
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational log records; nil discards
+	// them.
+	Log *slog.Logger
+	// FlightEvents is the capacity of the server's flight recorder —
+	// the bounded ring of recent trace events served over /debug/events;
+	// <= 0 means 4096.
+	FlightEvents int
+	// DumpEventsOnSIGQUIT, when set, installs a SIGQUIT handler that
+	// dumps the flight recorder to stderr (replacing the runtime's
+	// default stack-dump-and-exit behaviour; the process keeps running).
+	DumpEventsOnSIGQUIT bool
 	// OnListen, when non-nil, is called with the bound listen address
 	// once the server accepts connections — useful with ":0" ports.
 	OnListen func(addr string)
@@ -104,6 +118,24 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	if opts.DrainTimeout <= 0 {
 		opts.DrainTimeout = 30 * time.Second
 	}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
+	}
+	// One observability plane serves the whole process: the HTTP layer
+	// and the coordinator share its registry (one /metrics), its tracer
+	// (job -> batch -> shard -> runner timelines) and its flight
+	// recorder.
+	o := obs.New(obs.Options{FlightEvents: opts.FlightEvents})
+	if opts.DumpEventsOnSIGQUIT {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				o.Flight().WriteJSON(os.Stderr)
+			}
+		}()
+		defer signal.Stop(quit)
+	}
 	// One store serves the whole process: the HTTP layer's document
 	// cache and the coordinator's shard persistence share its tiers, so
 	// every layer sees every other's warm results.
@@ -130,7 +162,8 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 			LocalFallback:    true,
 			LocalParallelism: opts.Parallelism,
 			Store:            st,
-			Logf:             opts.Logf,
+			Log:              opts.Log,
+			Obs:              o,
 		})
 		if opts.ClusterLoopbackRunners > 0 {
 			coord.AttachLoopback(opts.ClusterLoopbackRunners, opts.Parallelism)
@@ -146,7 +179,8 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 		Workers:       opts.Workers,
 		Parallelism:   opts.Parallelism,
 		StateDir:      opts.StateDir,
-		Logf:          opts.Logf,
+		Log:           opts.Log,
+		Obs:           o,
 		Cluster:       coord,
 	})
 	if err != nil {
@@ -158,8 +192,8 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 	shutdown := func() {
 		drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(drainCtx); err != nil && opts.Logf != nil {
-			opts.Logf("hybridmem: drain: %v", err)
+		if err := srv.Shutdown(drainCtx); err != nil {
+			opts.Log.Warn("hybridmem: drain failed", "err", err)
 		}
 	}
 	ln, err := net.Listen("tcp", opts.Addr)
@@ -230,8 +264,12 @@ type RunnerOptions struct {
 	// StoreMaxBytes bounds the runner's disk store; <= 0 means
 	// unbounded.
 	StoreMaxBytes int64
-	// Logf receives operational log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured operational log records; nil discards
+	// them.
+	Log *slog.Logger
+	// FlightEvents is the capacity of the runner's flight recorder;
+	// <= 0 means 4096.
+	FlightEvents int
 	// OnListen, when non-nil, is called with the bound listen address
 	// once the runner accepts connections — useful with ":0" ports.
 	OnListen func(addr string)
@@ -255,7 +293,8 @@ func ServeRunner(ctx context.Context, opts RunnerOptions) error {
 		Parallelism:   opts.Parallelism,
 		StoreDir:      opts.StoreDir,
 		StoreMaxBytes: opts.StoreMaxBytes,
-		Logf:          opts.Logf,
+		Log:           opts.Log,
+		Obs:           obs.New(obs.Options{FlightEvents: opts.FlightEvents}),
 		OnListen:      opts.OnListen,
 	})
 	if err != nil {
