@@ -13,6 +13,8 @@
 //
 //	experiments -runjson HYBRID2@lbm          # one run, shared JSON schema
 //	experiments -sweepjson Baseline,HYBRID2@lbm,mcf
+//	experiments -runjson HYBRID2@lbm -series -seriescsv epochs.csv
+//	                             # sampled run: run-series JSON, epoch CSV
 //
 // Independent simulation runs fan out across -parallel workers (all CPUs
 // by default); results are deterministic and identical to a serial run.
@@ -57,6 +59,9 @@ func run() int {
 	ratio := flag.Int("ratio", 1, "NM:FM capacity ratio in sixteenths for -runjson/-sweepjson (1, 2 or 4)")
 	runJSON := flag.String("runjson", "", "run one DESIGN@WORKLOAD and print the shared JSON result encoding, then exit")
 	sweepJSON := flag.String("sweepjson", "", "run a D1,D2,...@W1,W2,... sweep and print the shared JSON result encoding, then exit")
+	series := flag.Bool("series", false, "with -runjson: sample epoch telemetry and print the run-series document instead of the plain run document")
+	seriesWindow := flag.Uint64("serieswindow", 0, "epoch window for -series in retired instructions (0 = default)")
+	seriesCSV := flag.String("seriescsv", "", "with -series: also write the epoch series as CSV to this file")
 	storeDir := flag.String("store", "", "persistent result-store directory: previously simulated runs are reused across invocations (empty: no reuse)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
@@ -106,11 +111,16 @@ func run() int {
 		return 0
 	}
 	if *runJSON != "" || *sweepJSON != "" {
-		if err := emitJSON(*runJSON, *sweepJSON, *scale, *ratio, *instr, *seed, *parallel, st); err != nil {
+		opts := seriesFlags{Enabled: *series, WindowInstr: *seriesWindow, CSVPath: *seriesCSV}
+		if err := emitJSON(*runJSON, *sweepJSON, *scale, *ratio, *instr, *seed, *parallel, st, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 1
 		}
 		return 0
+	}
+	if *series || *seriesCSV != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -series and -seriescsv require -runjson")
+		return 2
 	}
 
 	var r *exp.Runner
@@ -238,13 +248,29 @@ func run() int {
 	return 0
 }
 
+// seriesFlags carries the telemetry export selection of -runjson.
+type seriesFlags struct {
+	Enabled     bool
+	WindowInstr uint64
+	CSVPath     string
+}
+
 // emitJSON runs the -runjson or -sweepjson selection through the same
 // engine path the server uses and prints the shared wire document —
 // the byte-identical CLI counterpart CI diffs server responses against.
-func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, parallel int, st *store.Store) error {
+// With -series the single run is sampled and the run-series document
+// (the server's ?series=1 response) is printed instead; the embedded
+// result stays byte-identical to the plain document's.
+func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, parallel int, st *store.Store, series seriesFlags) error {
 	sel := runSel
 	if sel == "" {
 		sel = sweepSel
+	}
+	if (series.Enabled || series.CSVPath != "") && runSel == "" {
+		return fmt.Errorf("-series and -seriescsv require -runjson (sweep series are served by hybridmemd)")
+	}
+	if series.CSVPath != "" && !series.Enabled {
+		return fmt.Errorf("-seriescsv requires -series")
 	}
 	designs, workloads, err := parseRuns(sel)
 	if err != nil {
@@ -267,15 +293,29 @@ func emitJSON(runSel, sweepSel string, scale, ratio int, instr, seed uint64, par
 	if err != nil {
 		return err
 	}
-	results, err := r.ResultsParallel(specs)
-	if err != nil {
-		return err
-	}
 	var doc any
-	if runSel != "" {
-		doc = api.NewRun(results[0])
+	if series.Enabled {
+		r.Telemetry = &exp.TelemetryOptions{WindowInstr: series.WindowInstr}
+		sr, ser, err := r.ResultSeriesErr(specs[0].Workload, specs[0].Design, specs[0].Ratio16)
+		if err != nil {
+			return err
+		}
+		if series.CSVPath != "" {
+			if err := os.WriteFile(series.CSVPath, api.SeriesCSV(api.FromSeries(ser)), 0o644); err != nil {
+				return err
+			}
+		}
+		doc = api.NewRunSeries(sr, ser)
 	} else {
-		doc = api.NewSweep(results)
+		results, err := r.ResultsParallel(specs)
+		if err != nil {
+			return err
+		}
+		if runSel != "" {
+			doc = api.NewRun(results[0])
+		} else {
+			doc = api.NewSweep(results)
+		}
 	}
 	data, err := api.Encode(doc)
 	if err != nil {

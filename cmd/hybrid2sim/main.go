@@ -7,8 +7,17 @@
 //	hybrid2sim -design TAGLESS -workload omnetpp -ratio 4 -instr 2000000
 //	hybrid2sim -design HYBRID2 -trace mcf.trace -mlp 2
 //	hybrid2sim -design HYBRID2 -trace mcf.htb.gz    # binary/gzip auto-detected
+//	hybrid2sim -design HYBRID2 -workload lbm -series-json lbm.json -series-csv lbm.csv
+//	                                                # epoch telemetry exports
 //	hybrid2sim -list
 //	hybrid2sim -designs     # full design grammar with parameter ranges
+//
+// -series-json and -series-csv sample the run into instruction-windowed
+// epochs (IPC, MPKI, traffic, migration and latency deltas, plus a
+// phase segmentation) and export the series — JSON in the shared wire
+// schema of internal/api, CSV with one epoch per row. "-" writes to
+// stdout. Telemetry is passive: the printed measurements are identical
+// with and without it.
 package main
 
 import (
@@ -18,7 +27,11 @@ import (
 	"strings"
 
 	"hybridmem"
+	"hybridmem/internal/api"
 	"hybridmem/internal/exp"
+	"hybridmem/internal/sim"
+	"hybridmem/internal/telemetry"
+	"hybridmem/internal/workload"
 )
 
 // main delegates to run so error paths return through the defers (an
@@ -43,6 +56,9 @@ func run() error {
 	window := flag.Int("window", 0, "per-core lookahead window for streaming trace replay, in records (0 = default)")
 	list := flag.Bool("list", false, "list designs and workloads, then exit")
 	designs := flag.Bool("designs", false, "list every registered design with its grammar and parameter ranges, then exit")
+	seriesJSON := flag.String("series-json", "", "sample epoch telemetry and write the run-series JSON document to this file (\"-\" = stdout)")
+	seriesCSV := flag.String("series-csv", "", "sample epoch telemetry and write the epoch series as CSV to this file (\"-\" = stdout)")
+	seriesWindow := flag.Uint64("series-window", 0, "epoch window for the series exports in retired instructions (0 = default)")
 	flag.Parse()
 
 	if *designs {
@@ -66,6 +82,8 @@ func run() error {
 		return fmt.Errorf("-ratio must be 1, 2 or 4, got %d", *ratio)
 	}
 
+	sampled := *seriesJSON != "" || *seriesCSV != ""
+
 	if *traceFile != "" {
 		if *mlp < 1 {
 			return fmt.Errorf("-mlp must be >= 1, got %d", *mlp)
@@ -76,7 +94,17 @@ func run() error {
 		}
 		defer f.Close()
 		r := &exp.Runner{Scale: *scale, InstrPerCore: *instr, Seed: *seed, TraceWindow: *window}
-		res, err := r.RunTrace(*traceFile, f, *design, *ratio, *mlp)
+		var res sim.Result
+		if sampled {
+			r.Telemetry = &exp.TelemetryOptions{WindowInstr: *seriesWindow}
+			var ser *telemetry.Series
+			res, ser, err = r.RunTraceSeries(*traceFile, f, *design, *ratio, *mlp)
+			if err == nil {
+				err = writeSeries(*seriesJSON, *seriesCSV, res, ser)
+			}
+		} else {
+			res, err = r.RunTrace(*traceFile, f, *design, *ratio, *mlp)
+		}
 		if err != nil {
 			return err
 		}
@@ -92,9 +120,41 @@ func run() error {
 	}
 
 	cfg := hybridmem.Config{Scale: *scale, NMRatio16: *ratio, InstrPerCore: *instr, Seed: *seed}
-	res, err := hybridmem.Run(*design, *wl, cfg)
-	if err != nil {
-		return err
+	var res hybridmem.Result
+	if sampled {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		spec, ok := workload.ByName(*wl)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", *wl)
+		}
+		r := &exp.Runner{Scale: *scale, InstrPerCore: *instr, Seed: *seed,
+			Telemetry: &exp.TelemetryOptions{WindowInstr: *seriesWindow}}
+		sr, ser, err := r.ResultSeriesErr(spec, *design, *ratio)
+		if err != nil {
+			return err
+		}
+		if err := writeSeries(*seriesJSON, *seriesCSV, sr, ser); err != nil {
+			return err
+		}
+		// The sampled run's measurements are what hybridmem.Run would
+		// report — telemetry is passive — so the printout below is
+		// identical with or without the exports.
+		a := api.FromSim(sr)
+		res = hybridmem.Result{
+			Workload: a.Workload, Design: a.Design,
+			Cycles: a.Cycles, Instructions: a.Instructions, IPC: a.IPC, MPKI: a.MPKI,
+			Requests: a.Requests, ServedNMFrac: a.ServedNMFrac,
+			NMTrafficBytes: a.NMTrafficBytes, FMTrafficBytes: a.FMTrafficBytes,
+			MetaNMBytes: a.MetaNMBytes, Migrations: a.Migrations, EnergyNanoJ: a.EnergyNanoJ,
+		}
+	} else {
+		var err error
+		res, err = hybridmem.Run(*design, *wl, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	speedup, err := hybridmem.Speedup(*design, *wl, cfg)
 	if err != nil {
@@ -115,6 +175,35 @@ func run() error {
 	fmt.Printf("migrations      %d\n", res.Migrations)
 	fmt.Printf("dynamic energy  %.2f mJ\n", res.EnergyNanoJ/1e6)
 	return nil
+}
+
+// writeSeries renders the sampled run's telemetry exports: the wire-schema
+// JSON document to jsonPath and the epoch CSV to csvPath, skipping either
+// when its path is empty and writing to stdout when it is "-".
+func writeSeries(jsonPath, csvPath string, sr sim.Result, ser *telemetry.Series) error {
+	if jsonPath != "" {
+		data, err := api.Encode(api.NewRunSeries(sr, ser))
+		if err != nil {
+			return err
+		}
+		if err := writeOut(jsonPath, data); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := writeOut(csvPath, api.SeriesCSV(api.FromSeries(ser))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // printDesigns renders the registry listing: one block per design family

@@ -1,0 +1,215 @@
+package api
+
+import (
+	"strconv"
+
+	"hybridmem/internal/sim"
+	"hybridmem/internal/telemetry"
+)
+
+// SeriesSchemaVersion identifies the layout of the time-series
+// documents below (RunSeries, SweepSeries), versioned independently of
+// the headline result schema so the epoch field set can evolve without
+// invalidating result documents. Field order is the struct order below
+// and is pinned by the golden test in this package; changing it is a
+// schema change and must bump this constant.
+const SeriesSchemaVersion = 1
+
+// Epoch is the wire form of one telemetry sampling window (see
+// internal/telemetry.Epoch): deltas of the simulator's counters
+// between two consecutive epoch boundaries plus the derived rates.
+type Epoch struct {
+	Index          int     `json:"epoch"`
+	EndInstr       uint64  `json:"end_instr"`
+	EndCycle       uint64  `json:"end_cycle"`
+	Instr          uint64  `json:"instr"`
+	Cycles         uint64  `json:"cycles"`
+	IPC            float64 `json:"ipc"`
+	LLCAccesses    uint64  `json:"llc_accesses"`
+	LLCMisses      uint64  `json:"llc_misses"`
+	MPKI           float64 `json:"mpki"`
+	Requests       uint64  `json:"requests"`
+	NMHitFrac      float64 `json:"nm_hit_frac"`
+	NMTrafficBytes uint64  `json:"nm_traffic_bytes"`
+	FMTrafficBytes uint64  `json:"fm_traffic_bytes"`
+	MetaNMBytes    uint64  `json:"meta_nm_bytes"`
+	Migrations     uint64  `json:"migrations"`
+	Evictions      uint64  `json:"evictions"`
+	WastedFrac     float64 `json:"wasted_frac"`
+	LatCount       uint64  `json:"lat_count"`
+	LatMean        float64 `json:"lat_mean"`
+	LatP50         uint64  `json:"lat_p50"`
+	LatP99         uint64  `json:"lat_p99"`
+}
+
+// SeriesPhase is the wire form of one phase of the change-point
+// segmentation summary.
+type SeriesPhase struct {
+	StartEpoch     int     `json:"start_epoch"`
+	EndEpoch       int     `json:"end_epoch"`
+	Epochs         int     `json:"epochs"`
+	MeanIPC        float64 `json:"mean_ipc"`
+	MeanMPKI       float64 `json:"mean_mpki"`
+	MeanNMHitFrac  float64 `json:"mean_nm_hit_frac"`
+	MeanWastedFrac float64 `json:"mean_wasted_frac"`
+}
+
+// Series is the wire form of one run's telemetry series.
+type Series struct {
+	WindowInstr   uint64        `json:"window_instr"`
+	EpochsTotal   int           `json:"epochs_total"`
+	EpochsDropped int           `json:"epochs_dropped"`
+	Epochs        []Epoch       `json:"epochs"`
+	Phases        []SeriesPhase `json:"phases"`
+}
+
+// FromEpoch converts a telemetry epoch to the wire form.
+func FromEpoch(e telemetry.Epoch) Epoch {
+	return Epoch{
+		Index:          e.Index,
+		EndInstr:       e.EndInstr,
+		EndCycle:       e.EndCycle,
+		Instr:          e.Instr,
+		Cycles:         e.Cycles,
+		IPC:            e.IPC,
+		LLCAccesses:    e.LLCAccesses,
+		LLCMisses:      e.LLCMisses,
+		MPKI:           e.MPKI,
+		Requests:       e.Requests,
+		NMHitFrac:      e.NMHitFrac,
+		NMTrafficBytes: e.NMTrafficBytes,
+		FMTrafficBytes: e.FMTrafficBytes,
+		MetaNMBytes:    e.MetaNMBytes,
+		Migrations:     e.Migrations,
+		Evictions:      e.Evictions,
+		WastedFrac:     e.WastedFrac,
+		LatCount:       e.LatCount,
+		LatMean:        e.LatMean,
+		LatP50:         e.LatP50,
+		LatP99:         e.LatP99,
+	}
+}
+
+// FromSeries converts a telemetry series to the wire form — the single
+// mapping every encoder goes through. A nil series maps to an empty
+// document (zero window, no epochs), so callers need no guards.
+func FromSeries(ts *telemetry.Series) Series {
+	out := Series{Epochs: []Epoch{}, Phases: []SeriesPhase{}}
+	if ts == nil {
+		return out
+	}
+	out.WindowInstr = ts.WindowInstr
+	out.EpochsTotal = ts.EpochsTotal
+	out.EpochsDropped = ts.EpochsDropped
+	for _, e := range ts.Epochs {
+		out.Epochs = append(out.Epochs, FromEpoch(e))
+	}
+	for _, p := range ts.Phases {
+		out.Phases = append(out.Phases, SeriesPhase{
+			StartEpoch:     p.StartEpoch,
+			EndEpoch:       p.EndEpoch,
+			Epochs:         p.Epochs,
+			MeanIPC:        p.MeanIPC,
+			MeanMPKI:       p.MeanMPKI,
+			MeanNMHitFrac:  p.MeanNMHitFrac,
+			MeanWastedFrac: p.MeanWastedFrac,
+		})
+	}
+	return out
+}
+
+// RunSeries is the top-level document of a single sampled run: the
+// headline result (identical bytes to the plain Run document's result
+// field — telemetry is passive) plus its epoch series.
+type RunSeries struct {
+	Schema       int    `json:"schema"`
+	SeriesSchema int    `json:"series_schema"`
+	Result       Result `json:"result"`
+	Series       Series `json:"series"`
+}
+
+// NewRunSeries wraps a sampled run as a versioned document.
+func NewRunSeries(sr sim.Result, ts *telemetry.Series) RunSeries {
+	return RunSeries{
+		Schema:       SchemaVersion,
+		SeriesSchema: SeriesSchemaVersion,
+		Result:       FromSim(sr),
+		Series:       FromSeries(ts),
+	}
+}
+
+// SweepSeriesEntry is one run's series within a sweep document,
+// identified the way sweep results are.
+type SweepSeriesEntry struct {
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Series   Series `json:"series"`
+}
+
+// SweepSeries is the top-level document of a sweep's telemetry: one
+// entry per run in the sweep's design-major, workload-minor order.
+// Partial marks a document rendered mid-sweep (entries for unfinished
+// runs are empty); the settled document omits it.
+type SweepSeries struct {
+	Schema       int                `json:"schema"`
+	SeriesSchema int                `json:"series_schema"`
+	Partial      bool               `json:"partial,omitempty"`
+	Entries      []SweepSeriesEntry `json:"entries"`
+}
+
+// seriesCSVHeader is the column order of SeriesCSV, matching the Epoch
+// wire field order.
+const seriesCSVHeader = "epoch,end_instr,end_cycle,instr,cycles,ipc,llc_accesses,llc_misses,mpki,requests,nm_hit_frac,nm_traffic_bytes,fm_traffic_bytes,meta_nm_bytes,migrations,evictions,wasted_frac,lat_count,lat_mean,lat_p50,lat_p99\n"
+
+// SeriesCSV renders a series' epochs as CSV, one row per epoch, with
+// the same deterministic float formatting everywhere ('g', shortest
+// round-trip form).
+func SeriesCSV(s Series) []byte {
+	buf := make([]byte, 0, 64+len(s.Epochs)*128)
+	buf = append(buf, seriesCSVHeader...)
+	for _, e := range s.Epochs {
+		buf = strconv.AppendInt(buf, int64(e.Index), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.EndInstr, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.EndCycle, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Instr, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Cycles, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.IPC, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.LLCAccesses, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.LLCMisses, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.MPKI, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Requests, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.NMHitFrac, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.NMTrafficBytes, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.FMTrafficBytes, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.MetaNMBytes, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Migrations, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Evictions, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.WastedFrac, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.LatCount, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendFloat(buf, e.LatMean, 'g', -1, 64)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.LatP50, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.LatP99, 10)
+		buf = append(buf, '\n')
+	}
+	return buf
+}

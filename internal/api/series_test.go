@@ -1,0 +1,192 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"hybridmem/internal/telemetry"
+)
+
+// seriesFixture is a small, fully populated telemetry series with
+// recognizable values for the golden bytes below.
+func seriesFixture() *telemetry.Series {
+	return &telemetry.Series{
+		WindowInstr:   1000,
+		EpochsTotal:   3,
+		EpochsDropped: 1,
+		Epochs: []telemetry.Epoch{
+			{
+				Index: 1, EndInstr: 2000, EndCycle: 4000,
+				Instr: 1000, Cycles: 2000, IPC: 0.5,
+				LLCAccesses: 64, LLCMisses: 16, MPKI: 16,
+				Requests: 20, NMHitFrac: 0.75,
+				NMTrafficBytes: 4096, FMTrafficBytes: 1024, MetaNMBytes: 128,
+				Migrations: 2, Evictions: 1, WastedFrac: 0.25,
+				LatCount: 16, LatMean: 120.5, LatP50: 64, LatP99: 256,
+			},
+			{
+				Index: 2, EndInstr: 3000, EndCycle: 5000,
+				Instr: 1000, Cycles: 1000, IPC: 1,
+			},
+		},
+		Phases: []telemetry.Phase{
+			{
+				StartEpoch: 1, EndEpoch: 2, Epochs: 2,
+				MeanIPC: 0.75, MeanMPKI: 8, MeanNMHitFrac: 0.375, MeanWastedFrac: 0.125,
+			},
+		},
+	}
+}
+
+// TestGoldenRunSeriesSchema pins the exact bytes of the series wire
+// document: a failure here means the series schema changed, which
+// requires bumping SeriesSchemaVersion and updating every consumer
+// deliberately.
+func TestGoldenRunSeriesSchema(t *testing.T) {
+	got, err := Encode(NewRunSeries(fixture(), seriesFixture()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "schema": 1,
+  "series_schema": 1,
+  "result": {
+    "workload": "lbm",
+    "design": "HYBRID2",
+    "cycles": 1000,
+    "instructions": 4000,
+    "ipc": 4,
+    "mpki": 12.5,
+    "requests": 200,
+    "served_nm_frac": 0.75,
+    "nm_traffic_bytes": 6144,
+    "fm_traffic_bytes": 1536,
+    "meta_nm_bytes": 256,
+    "migrations": 3,
+    "energy_nj": 3.75
+  },
+  "series": {
+    "window_instr": 1000,
+    "epochs_total": 3,
+    "epochs_dropped": 1,
+    "epochs": [
+      {
+        "epoch": 1,
+        "end_instr": 2000,
+        "end_cycle": 4000,
+        "instr": 1000,
+        "cycles": 2000,
+        "ipc": 0.5,
+        "llc_accesses": 64,
+        "llc_misses": 16,
+        "mpki": 16,
+        "requests": 20,
+        "nm_hit_frac": 0.75,
+        "nm_traffic_bytes": 4096,
+        "fm_traffic_bytes": 1024,
+        "meta_nm_bytes": 128,
+        "migrations": 2,
+        "evictions": 1,
+        "wasted_frac": 0.25,
+        "lat_count": 16,
+        "lat_mean": 120.5,
+        "lat_p50": 64,
+        "lat_p99": 256
+      },
+      {
+        "epoch": 2,
+        "end_instr": 3000,
+        "end_cycle": 5000,
+        "instr": 1000,
+        "cycles": 1000,
+        "ipc": 1,
+        "llc_accesses": 0,
+        "llc_misses": 0,
+        "mpki": 0,
+        "requests": 0,
+        "nm_hit_frac": 0,
+        "nm_traffic_bytes": 0,
+        "fm_traffic_bytes": 0,
+        "meta_nm_bytes": 0,
+        "migrations": 0,
+        "evictions": 0,
+        "wasted_frac": 0,
+        "lat_count": 0,
+        "lat_mean": 0,
+        "lat_p50": 0,
+        "lat_p99": 0
+      }
+    ],
+    "phases": [
+      {
+        "start_epoch": 1,
+        "end_epoch": 2,
+        "epochs": 2,
+        "mean_ipc": 0.75,
+        "mean_mpki": 8,
+        "mean_nm_hit_frac": 0.375,
+        "mean_wasted_frac": 0.125
+      }
+    ]
+  }
+}
+`
+	if string(got) != want {
+		t.Errorf("run-series document schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFromSeriesNil: a nil series maps to an empty but well-formed
+// document — no null arrays on the wire.
+func TestFromSeriesNil(t *testing.T) {
+	got, err := Encode(FromSeries(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	if strings.Contains(s, "null") {
+		t.Fatalf("nil series encodes null arrays:\n%s", s)
+	}
+	if !strings.Contains(s, `"epochs": []`) || !strings.Contains(s, `"phases": []`) {
+		t.Fatalf("nil series missing empty arrays:\n%s", s)
+	}
+}
+
+func TestSweepSeriesPartialFlag(t *testing.T) {
+	doc := SweepSeries{Schema: SchemaVersion, SeriesSchema: SeriesSchemaVersion,
+		Entries: []SweepSeriesEntry{{Design: "HYBRID2", Workload: "lbm", Series: FromSeries(nil)}}}
+	settled, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(settled), "partial") {
+		t.Fatal("settled sweep-series document carries the partial flag")
+	}
+	doc.Partial = true
+	partial, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(partial), `"partial": true`) {
+		t.Fatal("partial sweep-series document missing the partial flag")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	got := string(SeriesCSV(FromSeries(seriesFixture())))
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), got)
+	}
+	if lines[0] != strings.TrimSuffix(seriesCSVHeader, "\n") {
+		t.Fatalf("csv header drifted: %s", lines[0])
+	}
+	want1 := "1,2000,4000,1000,2000,0.5,64,16,16,20,0.75,4096,1024,128,2,1,0.25,16,120.5,64,256"
+	if lines[1] != want1 {
+		t.Fatalf("csv row drifted:\n got %s\nwant %s", lines[1], want1)
+	}
+	// Header column count matches every row's field count.
+	if n := len(strings.Split(lines[0], ",")); n != len(strings.Split(lines[1], ",")) {
+		t.Fatalf("csv header has %d columns, row has %d", n, len(strings.Split(lines[1], ",")))
+	}
+}

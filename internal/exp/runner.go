@@ -76,6 +76,12 @@ type Runner struct {
 	// serving layers can assert and report how much engine work a
 	// request really cost.
 	SimCounter *obs.Counter
+	// Telemetry supplies the epoch-sampling knobs of the Series-
+	// returning run methods (ResultSeriesErr, ResultsParallelSeries,
+	// RunTraceSeries); nil means package defaults. It is ignored by the
+	// plain run methods: sampling only happens when a Series method is
+	// called, and is passive even then — see TelemetryOptions.
+	Telemetry *TelemetryOptions
 
 	mu     sync.Mutex
 	memo   *store.LRU[memoVal]
@@ -143,6 +149,7 @@ func (r *Runner) clone() *Runner {
 		Store:        r.Store,
 		MemoEntries:  r.MemoEntries,
 		SimCounter:   r.SimCounter,
+		Telemetry:    r.Telemetry,
 	}
 }
 

@@ -73,9 +73,13 @@ func (s *MemStats) NMTraffic() uint64 { return s.NMReadBytes + s.NMWriteBytes }
 func (s *MemStats) FMTraffic() uint64 { return s.FMReadBytes + s.FMWriteBytes }
 
 // WastedFrac returns the fraction of fetched bytes never used before
-// eviction (Figure 1). Returns 0 when nothing was fetched.
+// eviction (Figure 1). Returns 0 when nothing was fetched, and clamps
+// to 0 when UsedBytes exceeds FetchedBytes — a design that counts
+// writes into resident lines as "used" can legitimately report more
+// used than fetched bytes, and the unsigned subtraction would
+// otherwise wrap to a near-1 fraction.
 func (s *MemStats) WastedFrac() float64 {
-	if s.FetchedBytes == 0 {
+	if s.FetchedBytes == 0 || s.UsedBytes > s.FetchedBytes {
 		return 0
 	}
 	return float64(s.FetchedBytes-s.UsedBytes) / float64(s.FetchedBytes)

@@ -30,7 +30,9 @@ func TestWastedFrac(t *testing.T) {
 		{0, 0, 0},     // nothing fetched: defined as 0, not NaN
 		{100, 100, 0}, // everything used
 		{100, 25, 0.75},
-		{4096, 0, 1}, // nothing used
+		{4096, 0, 1},  // nothing used
+		{100, 101, 0}, // used > fetched: clamp, don't wrap the uint64 subtraction
+		{0, 50, 0},    // used without fetches: still 0
 	}
 	for _, c := range cases {
 		s := MemStats{FetchedBytes: c.fetched, UsedBytes: c.used}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybridmem/internal/api"
 	"hybridmem/internal/atomicfile"
 )
 
@@ -50,6 +51,14 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+
+	// Telemetry state, present only on sweeps submitted with series
+	// options. Entries fill in as runs settle, so a mid-sweep series
+	// fetch sees a partial document; seriesRaw is the settled document,
+	// rendered once when the sweep completes (or recovered from disk).
+	seriesMu      sync.Mutex
+	seriesEntries []api.SweepSeriesEntry
+	seriesRaw     []byte
 }
 
 func newJob(id, kind string) *job {
@@ -151,6 +160,80 @@ func (j *job) publishProgress(data json.RawMessage) {
 		default:
 		}
 	}
+}
+
+// publishEvent broadcasts one non-progress SSE frame (e.g. a live
+// "epoch" event) to current subscribers. Unlike progress it is not
+// retained for replay: epoch events form a stream, not a state
+// summary, and a late subscriber reads the series endpoint instead.
+func (j *job) publishEvent(event string, data json.RawMessage) {
+	frame := sseFrame(event, data)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for ch := range j.subs {
+		select {
+		case ch <- frame:
+		default:
+		}
+	}
+}
+
+// initSeries installs one series slot per run of a telemetry-enabled
+// sweep, in SweepSpecsByName order. Until a run settles its slot holds
+// an empty (but well-formed) series.
+func (j *job) initSeries(entries []api.SweepSeriesEntry) {
+	j.seriesMu.Lock()
+	defer j.seriesMu.Unlock()
+	j.seriesEntries = entries
+}
+
+// setSeries attaches one settled run's series to its slot.
+func (j *job) setSeries(i int, s api.Series) {
+	j.seriesMu.Lock()
+	defer j.seriesMu.Unlock()
+	if i >= 0 && i < len(j.seriesEntries) {
+		j.seriesEntries[i].Series = s
+	}
+}
+
+// settleSeries renders and retains the settled series document.
+func (j *job) settleSeries() ([]byte, error) {
+	j.seriesMu.Lock()
+	defer j.seriesMu.Unlock()
+	data, err := api.Encode(api.SweepSeries{
+		Schema:       api.SchemaVersion,
+		SeriesSchema: api.SeriesSchemaVersion,
+		Entries:      j.seriesEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	j.seriesRaw = data
+	return data, nil
+}
+
+// seriesDoc returns the job's series document: the settled bytes once
+// the sweep has completed, or a partial rendering of the runs settled
+// so far. ok is false when the job carries no telemetry.
+func (j *job) seriesDoc() (data []byte, partial bool, ok bool) {
+	j.seriesMu.Lock()
+	defer j.seriesMu.Unlock()
+	if j.seriesRaw != nil {
+		return j.seriesRaw, false, true
+	}
+	if j.seriesEntries == nil {
+		return nil, false, false
+	}
+	data, err := api.Encode(api.SweepSeries{
+		Schema:       api.SchemaVersion,
+		SeriesSchema: api.SeriesSchemaVersion,
+		Partial:      true,
+		Entries:      j.seriesEntries,
+	})
+	if err != nil {
+		return nil, false, false
+	}
+	return data, true, true
 }
 
 // start transitions the job to running.
@@ -407,7 +490,7 @@ func (s *Server) removeJobState(id string) {
 	if s.opts.StateDir == "" {
 		return
 	}
-	for _, prefix := range []string{"job", "result", "ckpt"} {
+	for _, prefix := range []string{"job", "result", "ckpt", "series"} {
 		os.Remove(s.statePath(prefix, id))
 	}
 }
@@ -479,6 +562,11 @@ func (s *Server) recoverJobs() error {
 			j.state = jobDone
 			j.result = result
 			j.finished = time.Now()
+			// A telemetry sweep's series document is adopted alongside its
+			// result, so /v1/jobs/{id}/series survives a restart too.
+			if ser, serr := os.ReadFile(s.statePath("series", id)); serr == nil && json.Valid(ser) {
+				j.seriesRaw = ser
+			}
 			s.store.Put(id, result)
 			s.jobs.adopt(j)
 			continue

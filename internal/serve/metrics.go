@@ -1,10 +1,16 @@
 package serve
 
 import (
+	"encoding/json"
 	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
+	"hybridmem/internal/api"
 	"hybridmem/internal/obs"
+	"hybridmem/internal/telemetry"
 )
 
 // metrics is the server's face of the shared observability plane: every
@@ -30,6 +36,14 @@ type metrics struct {
 	phaseCanon  *obs.Histogram
 	phaseLookup *obs.Histogram
 	phaseSim    *obs.Histogram
+
+	// Epoch telemetry bridge: every epoch closed by a sampled run on
+	// this server bumps the counter and becomes the hybridmem_sim_epoch_*
+	// family's snapshot — "what is the simulation doing right now", the
+	// scrape-time face of the full time-series documents.
+	epochsTotal *obs.Counter
+	epochMu     sync.Mutex
+	lastEpoch   telemetry.Epoch
 }
 
 // newMetrics registers the server's metric families on its observability
@@ -134,7 +148,54 @@ func newMetrics(s *Server) *metrics {
 	m.phaseCanon = phases.With("canonicalize")
 	m.phaseLookup = phases.With("store_lookup")
 	m.phaseSim = phases.With("simulate")
+
+	// Build identity: a constant-1 gauge whose labels carry the wire
+	// schema versions and toolchain, the conventional shape for joining
+	// version info onto every other series of a scrape.
+	r.GaugeSamplesFunc("hybridmem_build_info",
+		"Constant 1; labels identify the engine and schema versions and the Go toolchain.",
+		[]string{"engine_version", "schema_version", "go_version"},
+		func() []obs.Sample {
+			return []obs.Sample{{
+				Labels: []string{strconv.Itoa(api.EngineVersion), strconv.Itoa(api.SchemaVersion), runtime.Version()},
+				Value:  1,
+			}}
+		})
+
+	m.epochsTotal = r.Counter("hybridmem_sim_epochs_total",
+		"Telemetry epochs closed by sampled simulations on this server.")
+	lastEpoch := func(read func(e telemetry.Epoch) float64) func() float64 {
+		return func() float64 {
+			m.epochMu.Lock()
+			defer m.epochMu.Unlock()
+			return read(m.lastEpoch)
+		}
+	}
+	r.GaugeFunc("hybridmem_sim_epoch_index", "Index of the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return float64(e.Index) }))
+	r.GaugeFunc("hybridmem_sim_epoch_ipc", "IPC of the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return e.IPC }))
+	r.GaugeFunc("hybridmem_sim_epoch_mpki", "LLC MPKI of the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return e.MPKI }))
+	r.GaugeFunc("hybridmem_sim_epoch_nm_hit_frac", "Near-memory service fraction of the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return e.NMHitFrac }))
+	r.GaugeFunc("hybridmem_sim_epoch_wasted_frac", "Wasted-fetch fraction of the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return e.WastedFrac }))
+	r.GaugeFunc("hybridmem_sim_epoch_migrations", "Migrations within the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return float64(e.Migrations) }))
+	r.GaugeFunc("hybridmem_sim_epoch_evictions", "Evictions within the most recently closed telemetry epoch.",
+		lastEpoch(func(e telemetry.Epoch) float64 { return float64(e.Evictions) }))
 	return m
+}
+
+// noteEpoch folds one closed epoch into the scrape-time telemetry
+// family. Concurrent sampled runs interleave here; the gauges always
+// describe one coherent epoch (the last writer's), never a blend.
+func (m *metrics) noteEpoch(e telemetry.Epoch) {
+	m.epochsTotal.Inc()
+	m.epochMu.Lock()
+	m.lastEpoch = e
+	m.epochMu.Unlock()
 }
 
 // instrument wraps a handler so each request is counted, timed into the
@@ -163,8 +224,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugEvents dumps the flight recorder — the bounded ring of
-// recent span events — as one JSON document.
+// recent span events — as one JSON document. ?span=NAME keeps only
+// events of that span or event name; ?n=N keeps only the last N of
+// whatever survives the filter. "total" always reports how many events
+// were ever recorded, so a truncated dump says what it omits.
 func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	span := q.Get("span")
+	n := -1
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer, got %q", raw)
+			return
+		}
+		n = v
+	}
 	w.Header().Set("Content-Type", "application/json")
-	s.opts.Obs.Flight().WriteJSON(w)
+	fl := s.opts.Obs.Flight()
+	if span == "" && n < 0 {
+		fl.WriteJSON(w)
+		return
+	}
+	events := fl.Snapshot()
+	if span != "" {
+		kept := make([]obs.Event, 0, len(events))
+		for _, e := range events {
+			if e.Name == span {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	if n >= 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	if events == nil {
+		events = []obs.Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}{Total: fl.Total(), Events: events})
 }

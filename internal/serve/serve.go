@@ -35,13 +35,18 @@
 //	GET  /metrics              text-format counters and latency histograms
 //	GET  /v1/designs           the design registry (name, grammar, kind)
 //	GET  /v1/workloads         the built-in workload names
-//	POST /v1/run               one (design, workload) run — synchronous
-//	POST /v1/sweep             designs × workloads sweep — async job
+//	POST /v1/run               one (design, workload) run — synchronous;
+//	                           ?series=1 adds epoch telemetry to the response
+//	POST /v1/sweep             designs × workloads sweep — async job; a
+//	                           "series" object in the body enables telemetry
 //	POST /v1/explore           design-space exploration — async job
 //	POST /v1/replay            trace replay; the request body IS the trace
 //	GET  /v1/jobs/{id}         job state
-//	GET  /v1/jobs/{id}/events  progress stream (server-sent events)
+//	GET  /v1/jobs/{id}/events  progress stream (server-sent events; sampled
+//	                           sweeps interleave live "epoch" events)
 //	GET  /v1/jobs/{id}/result  the finished job's result document
+//	GET  /v1/jobs/{id}/series  a sampled sweep's telemetry time-series
+//	                           document (partial while the sweep runs)
 //
 // Sweeps and explorations run asynchronously through a bounded job
 // queue and worker pool: POST returns a job ID, progress streams over
@@ -90,6 +95,7 @@ import (
 	"hybridmem/internal/obs"
 	"hybridmem/internal/sim"
 	"hybridmem/internal/store"
+	"hybridmem/internal/telemetry"
 	"hybridmem/internal/workload"
 )
 
@@ -228,9 +234,10 @@ type Server struct {
 	// Execution seams. Tests substitute counting or blocking stand-ins
 	// to pin the concurrency contracts (one simulation per fingerprint,
 	// drain semantics) without timing-dependent real runs.
-	runOne     func(designName, workloadName string, cfg api.Config) (sim.Result, error)
-	runSweep   func(ctx context.Context, designs, workloads []string, cfg api.Config, progress func(done, total int)) ([]sim.Result, error)
-	runExplore func(ctx context.Context, req exploreRequest, checkpoint string, resume bool, progress func(dse.Event)) (dse.Result, error)
+	runOne       func(designName, workloadName string, cfg api.Config) (sim.Result, error)
+	runOneSeries func(designName, workloadName string, cfg api.Config, topts exp.TelemetryOptions) (sim.Result, *telemetry.Series, error)
+	runSweep     func(ctx context.Context, designs, workloads []string, cfg api.Config, progress func(done, total int)) ([]sim.Result, error)
+	runExplore   func(ctx context.Context, req exploreRequest, checkpoint string, resume bool, progress func(dse.Event)) (dse.Result, error)
 }
 
 // New builds a Server, starts its worker pool, and — when a state
@@ -261,6 +268,7 @@ func New(opts Options) (*Server, error) {
 		opts.Cluster.RegisterMetrics(s.metrics.reg)
 	}
 	s.runOne = s.defaultRunOne
+	s.runOneSeries = s.defaultRunOneSeries
 	s.runSweep = s.defaultRunSweep
 	s.runExplore = s.defaultRunExplore
 	s.jobs = newJobManager(s, opts.QueueDepth, opts.Workers, opts.JobHistory, opts.JobHistoryBytes)
@@ -307,6 +315,7 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs", s.handleJobStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/result", s.handleJobResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/series", s.instrument("/v1/jobs/series", s.handleJobSeries))
 	if c := s.opts.Cluster; c != nil {
 		mux.HandleFunc("POST /cluster/v1/join", c.HandleJoin)
 		mux.HandleFunc("POST /cluster/v1/heartbeat", c.HandleHeartbeat)
@@ -332,6 +341,23 @@ type sweepRequest struct {
 	Designs   []string   `json:"designs"`
 	Workloads []string   `json:"workloads"`
 	Config    api.Config `json:"config"`
+	// Series, when present, enables epoch telemetry for every run of
+	// the sweep: per-epoch SSE frames stream alongside progress, and
+	// the assembled series document is served at /v1/jobs/{id}/series.
+	// The headline result document is byte-identical either way —
+	// telemetry is passive — but a sweep with series is a distinct job
+	// (the options are folded into the fingerprint). Series-enabled
+	// sweeps always execute locally, even on a cluster coordinator:
+	// runners return results, not series.
+	Series *seriesOptions `json:"series,omitempty"`
+}
+
+// seriesOptions is the wire form of the telemetry knobs: epoch window
+// in retired instructions and the per-run epoch ring bound, both
+// defaulting to the telemetry package defaults when zero.
+type seriesOptions struct {
+	WindowInstr uint64 `json:"window_instr,omitempty"`
+	MaxEpochs   int    `json:"max_epochs,omitempty"`
 }
 
 type exploreRequest struct {
@@ -443,7 +469,33 @@ func runKey(req runRequest) string {
 
 func sweepKey(req sweepRequest) string {
 	parts := append(versionParts("sweep"), "designs="+join(req.Designs), "workloads="+join(req.Workloads))
-	return fingerprint(append(parts, cfgParts(req.Config)...)...)
+	parts = append(parts, cfgParts(req.Config)...)
+	// Appended only when telemetry is requested, so plain sweep
+	// fingerprints — and every result cached under them — stay stable.
+	if req.Series != nil {
+		parts = append(parts,
+			"series",
+			"swin="+strconv.FormatUint(req.Series.WindowInstr, 10),
+			"sepochs="+strconv.Itoa(req.Series.MaxEpochs),
+			"sschema="+strconv.Itoa(api.SeriesSchemaVersion),
+		)
+	}
+	return fingerprint(parts...)
+}
+
+// seriesRunKey is the cache key of a sync run with telemetry: distinct
+// from the plain run key (the cached document embeds the series) and
+// covering the series schema and window knobs.
+func seriesRunKey(req runRequest, opts seriesOptions) string {
+	parts := append(versionParts("run"), req.Design, req.Workload)
+	parts = append(parts, cfgParts(req.Config)...)
+	parts = append(parts,
+		"series",
+		"swin="+strconv.FormatUint(opts.WindowInstr, 10),
+		"sepochs="+strconv.Itoa(opts.MaxEpochs),
+		"sschema="+strconv.Itoa(api.SeriesSchemaVersion),
+	)
+	return fingerprint(parts...)
 }
 
 func exploreKey(req exploreRequest) string {
@@ -484,6 +536,21 @@ func (s *Server) defaultRunOne(designName, workloadName string, cfg api.Config) 
 		SimCounter:   &s.sims,
 	}
 	return r.ResultErr(wl, designName, cfg.NMRatio16)
+}
+
+func (s *Server) defaultRunOneSeries(designName, workloadName string, cfg api.Config, topts exp.TelemetryOptions) (sim.Result, *telemetry.Series, error) {
+	wl, ok := workload.ByName(workloadName)
+	if !ok {
+		return sim.Result{}, nil, fmt.Errorf("unknown workload %q", workloadName)
+	}
+	r := &exp.Runner{
+		Scale:        cfg.Scale,
+		InstrPerCore: cfg.InstrPerCore,
+		Seed:         cfg.Seed,
+		SimCounter:   &s.sims,
+		Telemetry:    &topts,
+	}
+	return r.ResultSeriesErr(wl, designName, cfg.NMRatio16)
 }
 
 func (s *Server) defaultRunSweep(ctx context.Context, designs, workloads []string, cfg api.Config, progress func(done, total int)) ([]sim.Result, error) {
@@ -609,6 +676,12 @@ func (s *Server) execSweep(ctx context.Context, j *job) ([]byte, error) {
 			j.publishProgress(data)
 		}
 	}
+	if req.Series != nil {
+		// Telemetry rides on local execution even under a coordinator:
+		// runners return results, not series, and passivity guarantees
+		// the headline document matches the clustered path byte for byte.
+		return s.execSweepSeries(ctx, j, *req, progress)
+	}
 	if s.opts.Cluster != nil {
 		return s.execClusterSweep(ctx, *req, progress)
 	}
@@ -617,6 +690,71 @@ func (s *Server) execSweep(ctx context.Context, j *job) ([]byte, error) {
 	s.metrics.phaseSim.ObserveDuration(time.Since(simStart))
 	if err != nil {
 		return nil, err
+	}
+	return api.Encode(api.NewSweep(res))
+}
+
+// epochEvent is the wire form of one live per-epoch SSE frame: the
+// run's position in the sweep, its identity, and the closed epoch.
+type epochEvent struct {
+	Run      int       `json:"run"`
+	Design   string    `json:"design"`
+	Workload string    `json:"workload"`
+	Epoch    api.Epoch `json:"epoch"`
+}
+
+// execSweepSeries runs a telemetry-enabled sweep locally: every run is
+// sampled, each closed epoch streams as an "epoch" SSE frame (and
+// refreshes the hybridmem_sim_epoch_* gauges), per-run series land on
+// the job as they settle — so /v1/jobs/{id}/series shows a partial
+// document mid-sweep — and the settled series document is rendered
+// once when the sweep completes. The returned headline document is the
+// ordinary sweep document, byte-identical to an unsampled sweep.
+func (s *Server) execSweepSeries(ctx context.Context, j *job, req sweepRequest, progress func(done, total int)) ([]byte, error) {
+	specs, err := exp.SweepSpecsByName(req.Designs, req.Workloads, req.Config.NMRatio16)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]api.SweepSeriesEntry, len(specs))
+	for i, sp := range specs {
+		entries[i] = api.SweepSeriesEntry{Design: sp.Design, Workload: sp.Workload.Name, Series: api.FromSeries(nil)}
+	}
+	j.initSeries(entries)
+	r := &exp.Runner{
+		Scale:        req.Config.Scale,
+		InstrPerCore: req.Config.InstrPerCore,
+		Seed:         req.Config.Seed,
+		Parallelism:  s.opts.Parallelism,
+		SimCounter:   &s.sims,
+		Telemetry: &exp.TelemetryOptions{
+			WindowInstr: req.Series.WindowInstr,
+			MaxEpochs:   req.Series.MaxEpochs,
+			OnEpoch: func(run int, e telemetry.Epoch) {
+				s.metrics.noteEpoch(e)
+				ev := epochEvent{Run: run, Design: specs[run].Design, Workload: specs[run].Workload.Name, Epoch: api.FromEpoch(e)}
+				if data, merr := json.Marshal(ev); merr == nil {
+					j.publishEvent("epoch", data)
+				}
+			},
+			OnSeries: func(run int, ser *telemetry.Series) {
+				j.setSeries(run, api.FromSeries(ser))
+			},
+		},
+	}
+	simStart := time.Now()
+	res, _, err := r.ResultsParallelSeries(ctx, specs, progress)
+	s.metrics.phaseSim.ObserveDuration(time.Since(simStart))
+	if err != nil {
+		return nil, err
+	}
+	seriesDoc, err := j.settleSeries()
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.StateDir != "" {
+		if werr := atomicfile.Write(s.statePath("series", j.ID), seriesDoc); werr != nil {
+			s.opts.Log.Warn("serve: persist series failed", "job", j.ID, "err", werr)
+		}
 	}
 	return api.Encode(api.NewSweep(res))
 }
@@ -780,12 +918,46 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, names)
 }
 
+// parseSeriesQuery reads the telemetry query parameters of a sync run:
+// ?series=1 enables epoch sampling, ?window_instr= and ?max_epochs=
+// tune it. Returns nil when series is absent or falsy.
+func parseSeriesQuery(r *http.Request) (*seriesOptions, error) {
+	q := r.URL.Query()
+	switch q.Get("series") {
+	case "", "0", "false":
+		return nil, nil
+	}
+	opts := &seriesOptions{}
+	if v := q.Get("window_instr"); v != "" {
+		w, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad window_instr: %v", err)
+		}
+		opts.WindowInstr = w
+	}
+	if v := q.Get("max_epochs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad max_epochs: %v", err)
+		}
+		opts.MaxEpochs = n
+	}
+	return opts, nil
+}
+
 // handleRun serves one simulation synchronously: cache first, then the
 // singleflight slot — concurrent identical requests execute exactly one
-// simulation and share its bytes.
+// simulation and share its bytes. With ?series=1 the response is the
+// RunSeries document (result plus epoch telemetry) instead of the plain
+// Run document; the embedded result is byte-identical to the plain one.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	series, serr := parseSeriesQuery(r)
+	if serr != nil {
+		writeError(w, http.StatusBadRequest, "%v", serr)
 		return
 	}
 	req.Config = normalizeConfig(req.Config, 1_000_000)
@@ -794,6 +966,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.rejectDraining(w) {
+		return
+	}
+	if series != nil {
+		s.handleRunSeries(w, req, *series)
 		return
 	}
 	canonStart := time.Now()
@@ -825,6 +1001,63 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		doc, err := api.Encode(api.NewRun(sr))
+		if err != nil {
+			return nil, err
+		}
+		s.store.Put(key, doc)
+		return doc, nil
+	})
+	if shared {
+		s.metrics.flightShared.Inc()
+	}
+	switch {
+	case errors.Is(err, errBusy):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "run failed: %v", err)
+	default:
+		writeDoc(w, data)
+	}
+}
+
+// handleRunSeries is the ?series=1 arm of handleRun: same cache +
+// singleflight discipline under a distinct fingerprint (the cached
+// bytes embed the series), executing through the sampled runner seam.
+// Series output is deterministic, so cached repeats are byte-identical
+// to fresh executions.
+func (s *Server) handleRunSeries(w http.ResponseWriter, req runRequest, opts seriesOptions) {
+	canonStart := time.Now()
+	key := seriesRunKey(req, opts)
+	s.metrics.phaseCanon.ObserveDuration(time.Since(canonStart))
+	lookupStart := time.Now()
+	data, _, ok := s.store.Get(key)
+	s.metrics.phaseLookup.ObserveDuration(time.Since(lookupStart))
+	if ok {
+		writeDoc(w, data)
+		return
+	}
+	data, err, shared := s.flight.Do(key, func() ([]byte, error) {
+		if doc, ok := s.store.Peek(key); ok {
+			return doc, nil
+		}
+		if !s.acquireSync() {
+			return nil, errBusy
+		}
+		defer s.releaseSync()
+		s.metrics.inflightSims.Add(1)
+		defer s.metrics.inflightSims.Add(-1)
+		topts := exp.TelemetryOptions{
+			WindowInstr: opts.WindowInstr,
+			MaxEpochs:   opts.MaxEpochs,
+			OnEpoch:     func(_ int, e telemetry.Epoch) { s.metrics.noteEpoch(e) },
+		}
+		simStart := time.Now()
+		sr, ser, err := s.runOneSeries(req.Design, req.Workload, req.Config, topts)
+		s.metrics.phaseSim.ObserveDuration(time.Since(simStart))
+		if err != nil {
+			return nil, err
+		}
+		doc, err := api.Encode(api.NewRunSeries(sr, ser))
 		if err != nil {
 			return nil, err
 		}
@@ -1052,6 +1285,24 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusConflict, "job is %s; result not ready", state)
 	}
+}
+
+// handleJobSeries serves a telemetry sweep's time-series document.
+// Mid-sweep it returns what has settled so far, marked "partial": true;
+// after completion it returns the settled document (also recovered from
+// the state directory across restarts). Jobs submitted without series
+// options have no series to serve and answer 404.
+func (s *Server) handleJobSeries(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	data, _, ok := j.seriesDoc()
+	if !ok {
+		writeError(w, http.StatusNotFound, "job %q has no telemetry series (submit the sweep with \"series\" options)", j.ID)
+		return
+	}
+	writeDoc(w, data)
 }
 
 // handleJobEvents streams a job's progress as server-sent events:

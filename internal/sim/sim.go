@@ -13,6 +13,7 @@ import (
 	"hybridmem/internal/memsys"
 	"hybridmem/internal/memtypes"
 	"hybridmem/internal/stats"
+	"hybridmem/internal/telemetry"
 	"hybridmem/internal/workload"
 )
 
@@ -95,11 +96,19 @@ func MLPFor(spec workload.Spec) int {
 // the design was built over (nm may be nil for the no-NM baseline); they
 // are only read for energy accounting.
 func Run(spec workload.Spec, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System) Result {
+	return RunSampled(spec, ms, nm, fm, sys, nil)
+}
+
+// RunSampled is Run with an optional telemetry sampler attached: smp
+// observes the run as a series of windowed epochs (see
+// internal/telemetry). A nil smp is exactly Run — the sampler is
+// passive and never changes the Result.
+func RunSampled(spec workload.Spec, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System, smp *telemetry.Sampler) Result {
 	srcs := make([]Source, config.Cores)
 	for i := range srcs {
 		srcs[i] = workload.NewStream(spec, i, sys.Scale, sys.InstrPerCore, sys.Seed)
 	}
-	return RunSources(spec.Name, srcs, MLPFor(spec), ms, nm, fm, sys)
+	return RunSourcesSampled(spec.Name, srcs, MLPFor(spec), ms, nm, fm, sys, smp)
 }
 
 // The devirtualization wrappers below give the registry's main designs a
@@ -150,17 +159,23 @@ func (a nmOnlyMS) Stats() *memtypes.MemStats { return a.m.Stats() }
 // point for replaying captured traces. mlp bounds each core's overlapped
 // misses.
 func RunSources(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System) Result {
+	return RunSourcesSampled(name, srcs, mlp, ms, nm, fm, sys, nil)
+}
+
+// RunSourcesSampled is RunSources with an optional telemetry sampler;
+// nil smp is exactly RunSources.
+func RunSourcesSampled(name string, srcs []Source, mlp int, ms memtypes.MemorySystem, nm, fm *memsys.Device, sys config.System, smp *telemetry.Sampler) Result {
 	switch m := ms.(type) {
 	case *hybrid.Hybrid2:
-		return runLoop(name, srcs, mlp, hybridMS{m}, nm, fm, sys)
+		return runLoop(name, srcs, mlp, hybridMS{m}, nm, fm, sys, smp)
 	case *dramcache.Cache:
-		return runLoop(name, srcs, mlp, dramCacheMS{m}, nm, fm, sys)
+		return runLoop(name, srcs, mlp, dramCacheMS{m}, nm, fm, sys, smp)
 	case *flat.FMOnly:
-		return runLoop(name, srcs, mlp, fmOnlyMS{m}, nm, fm, sys)
+		return runLoop(name, srcs, mlp, fmOnlyMS{m}, nm, fm, sys, smp)
 	case *flat.NMOnly:
-		return runLoop(name, srcs, mlp, nmOnlyMS{m}, nm, fm, sys)
+		return runLoop(name, srcs, mlp, nmOnlyMS{m}, nm, fm, sys, smp)
 	}
-	return runLoop[memtypes.MemorySystem](name, srcs, mlp, ms, nm, fm, sys)
+	return runLoop[memtypes.MemorySystem](name, srcs, mlp, ms, nm, fm, sys, smp)
 }
 
 // coreState is one core's slot in the run loop: its source, the batch
@@ -201,6 +216,19 @@ func siftDown(h []int32, i int, cores []*cpu.Core) {
 	}
 }
 
+// maxCoreTime returns the latest core time — the run's cycle count so
+// far. Called only at epoch boundaries, so its O(cores) cost is off
+// the per-record path.
+func maxCoreTime(cores []*cpu.Core) memtypes.Tick {
+	var t memtypes.Tick
+	for _, c := range cores {
+		if c.Time > t {
+			t = c.Time
+		}
+	}
+	return t
+}
+
 // runLoop is the per-record simulation loop, generic so the type switch
 // in RunSources stencils a concrete-typed copy per main design. The
 // scheduler is an index min-heap keyed on (core time, index), replacing
@@ -208,10 +236,20 @@ func siftDown(h []int32, i int, cores []*cpu.Core) {
 // scan because both pick the lexicographic minimum, and only the selected
 // core's time ever changes. The steady state allocates nothing: record
 // buffers, heap and core state are preallocated, and the histogram is a
-// fixed array.
-func runLoop[MS memtypes.MemorySystem](name string, srcs []Source, mlp int, ms MS, nm, fm *memsys.Device, sys config.System) Result {
+// fixed array. The telemetry sampler is optional and passive: with smp
+// nil the per-record cost is one predictable branch and the Result is
+// unchanged either way.
+func runLoop[MS memtypes.MemorySystem](name string, srcs []Source, mlp int, ms MS, nm, fm *memsys.Device, sys config.System, smp *telemetry.Sampler) Result {
 	llc := cachesim.New(sys.LLCBytes, config.LLCAssoc, memtypes.CPULineBytes)
 	var lat stats.Histogram
+
+	// Telemetry boundary state: retired instructions mirror the cores'
+	// own counting (Gap non-memory instructions + 1 memory op per
+	// record), sNext is the next epoch boundary.
+	var sInstr, sNext uint64
+	if smp != nil {
+		sNext = smp.WindowInstr()
+	}
 
 	n := len(srcs)
 	cores := make([]*cpu.Core, n)
@@ -277,6 +315,9 @@ func runLoop[MS memtypes.MemorySystem](name string, srcs []Source, mlp int, ms M
 				c.StallForWrite(fill)
 			} else {
 				lat.Add(uint64(fill - c.Time))
+				if smp != nil {
+					smp.Latency(uint64(fill - c.Time))
+				}
 				c.StallForMiss(fill)
 			}
 		}
@@ -294,6 +335,14 @@ func runLoop[MS memtypes.MemorySystem](name string, srcs []Source, mlp int, ms M
 				}
 			}
 		}
+		if smp != nil {
+			sInstr += r.Gap + 1
+			if sInstr >= sNext {
+				smp.Flush(sInstr, uint64(maxCoreTime(cores)), llc.Accesses, llc.Misses, ms.Stats())
+				w := smp.WindowInstr()
+				sNext = sInstr - sInstr%w + w
+			}
+		}
 		if len(heap) > 1 {
 			siftDown(heap, 0, cores)
 		}
@@ -308,6 +357,12 @@ func runLoop[MS memtypes.MemorySystem](name string, srcs []Source, mlp int, ms M
 		instr += c.Instructions
 	}
 	ms.Finish(cycles)
+	// Close the final (possibly partial) epoch after Finish so flushed
+	// interval work lands in the series and its totals reconcile with
+	// the Result. A run that ended exactly on a boundary flushes nothing.
+	if smp != nil {
+		smp.Flush(instr, uint64(cycles), llc.Accesses, llc.Misses, ms.Stats())
+	}
 
 	res := Result{
 		Workload:     name,

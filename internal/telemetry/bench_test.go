@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"testing"
+
+	"hybridmem/internal/memtypes"
+)
+
+// BenchmarkTelemetryOverhead measures the per-record cost the sampler
+// adds to the simulation loop: the nil-guarded disabled path (what
+// every un-sampled run pays) and the enabled path including its share
+// of boundary flushes. Both must be allocation-free — the disabled
+// case is pinned at exactly 0 allocs/op in BENCH_trajectory.json, and
+// the enabled case stays at 0 because the ring and window histogram
+// are preallocated.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		var smp *Sampler
+		var instr, next uint64
+		if smp != nil {
+			next = smp.WindowInstr()
+		}
+		var mem memtypes.MemStats
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Mirror of the run loop's per-record telemetry sequence.
+			if smp != nil {
+				smp.Latency(100)
+				instr += 4
+				if instr >= next {
+					smp.Flush(instr, instr*2, instr/8, instr/16, &mem)
+					w := smp.WindowInstr()
+					next = instr - instr%w + w
+				}
+			}
+		}
+		_ = instr
+	})
+	b.Run("on", func(b *testing.B) {
+		smp := New(Options{WindowInstr: 4096, MaxEpochs: 256})
+		instr := uint64(0)
+		next := smp.WindowInstr()
+		mem := memtypes.MemStats{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if smp != nil {
+				smp.Latency(100)
+				instr += 4
+				mem.Requests++
+				mem.FMReadBytes += 64
+				if instr >= next {
+					smp.Flush(instr, instr*2, instr/8, instr/16, &mem)
+					w := smp.WindowInstr()
+					next = instr - instr%w + w
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import "math"
+
+// minPhaseEpochs is the shortest phase the segmentation will emit.
+// Splits closer than this to a boundary are not considered, which
+// keeps single-epoch noise from fragmenting the summary.
+const minPhaseEpochs = 3
+
+// Segment runs deterministic change-point detection over the epochs'
+// IPC series and returns the resulting phases, each annotated with its
+// mean IPC, MPKI, NM hit fraction and wasted-fetch fraction. The
+// algorithm is greedy binary segmentation: recursively place the split
+// that most reduces the within-segment sum of squared IPC deviations,
+// and accept it only when the reduction clears a BIC-style penalty
+// (2 · series variance · ln n). Pure integer/float arithmetic over the
+// input — the same epochs always segment the same way.
+func Segment(epochs []Epoch) []Phase {
+	if len(epochs) == 0 {
+		return []Phase{}
+	}
+
+	// Prefix sums of IPC and IPC² give O(1) segment cost.
+	n := len(epochs)
+	sum := make([]float64, n+1)
+	sum2 := make([]float64, n+1)
+	for i, e := range epochs {
+		sum[i+1] = sum[i] + e.IPC
+		sum2[i+1] = sum2[i] + e.IPC*e.IPC
+	}
+	// sse returns the within-segment sum of squared deviations of
+	// epochs[lo:hi].
+	sse := func(lo, hi int) float64 {
+		c := float64(hi - lo)
+		s := sum[hi] - sum[lo]
+		q := sum2[hi] - sum2[lo]
+		v := q - s*s/c
+		if v < 0 { // guard tiny negative rounding residue
+			return 0
+		}
+		return v
+	}
+
+	variance := sse(0, n) / float64(n)
+	penalty := 2 * variance * math.Log(float64(n))
+
+	// Recursive binary segmentation collecting split points.
+	var cuts []int
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2*minPhaseEpochs || penalty == 0 {
+			return
+		}
+		whole := sse(lo, hi)
+		best, bestK := math.Inf(1), -1
+		for k := lo + minPhaseEpochs; k <= hi-minPhaseEpochs; k++ {
+			if c := sse(lo, k) + sse(k, hi); c < best {
+				best, bestK = c, k
+			}
+		}
+		if bestK < 0 || whole-best <= penalty {
+			return
+		}
+		split(lo, bestK)
+		cuts = append(cuts, bestK)
+		split(bestK, hi)
+	}
+	split(0, n)
+
+	// cuts is sorted by construction (left recursion, cut, right
+	// recursion); turn the cut list into annotated phases.
+	phases := make([]Phase, 0, len(cuts)+1)
+	lo := 0
+	for _, k := range append(cuts, n) {
+		p := Phase{
+			StartEpoch: epochs[lo].Index,
+			EndEpoch:   epochs[k-1].Index,
+			Epochs:     k - lo,
+		}
+		var ipc, mpki, nmHit, wasted float64
+		for _, e := range epochs[lo:k] {
+			ipc += e.IPC
+			mpki += e.MPKI
+			nmHit += e.NMHitFrac
+			wasted += e.WastedFrac
+		}
+		c := float64(k - lo)
+		p.MeanIPC = ipc / c
+		p.MeanMPKI = mpki / c
+		p.MeanNMHitFrac = nmHit / c
+		p.MeanWastedFrac = wasted / c
+		phases = append(phases, p)
+		lo = k
+	}
+	return phases
+}

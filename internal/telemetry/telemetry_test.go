@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"hybridmem/internal/memtypes"
+)
+
+// TestNilSamplerSafe pins the nil-receiver contract on every handle:
+// all methods must be callable (and free) through a nil *Sampler.
+func TestNilSamplerSafe(t *testing.T) {
+	var s *Sampler
+	if s.Enabled() {
+		t.Fatal("nil sampler reports enabled")
+	}
+	if w := s.WindowInstr(); w != 0 {
+		t.Fatalf("nil sampler window = %d, want 0", w)
+	}
+	s.Latency(123)
+	s.Flush(1000, 2000, 10, 5, &memtypes.MemStats{Requests: 5})
+	if got := s.Series(); got != nil {
+		t.Fatalf("nil sampler Series() = %+v, want nil", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := New(Options{})
+	if s.WindowInstr() != DefaultWindowInstr {
+		t.Fatalf("default window = %d, want %d", s.WindowInstr(), DefaultWindowInstr)
+	}
+	if len(s.ring) != DefaultMaxEpochs {
+		t.Fatalf("default ring = %d, want %d", len(s.ring), DefaultMaxEpochs)
+	}
+}
+
+// feed drives a sampler with synthetic cumulative counters: each call
+// advances the run by di instructions, dc cycles, da accesses, dm
+// misses and the given MemStats deltas, then flushes.
+type feed struct {
+	instr, cycle, acc, miss uint64
+	mem                     memtypes.MemStats
+}
+
+func (f *feed) step(s *Sampler, di, dc, da, dm uint64, mem memtypes.MemStats) {
+	f.instr += di
+	f.cycle += dc
+	f.acc += da
+	f.miss += dm
+	f.mem.Requests += mem.Requests
+	f.mem.ServedNM += mem.ServedNM
+	f.mem.ServedFM += mem.ServedFM
+	f.mem.NMReadBytes += mem.NMReadBytes
+	f.mem.NMWriteBytes += mem.NMWriteBytes
+	f.mem.FMReadBytes += mem.FMReadBytes
+	f.mem.FMWriteBytes += mem.FMWriteBytes
+	f.mem.MetaNMBytes += mem.MetaNMBytes
+	f.mem.Migrations += mem.Migrations
+	f.mem.Evictions += mem.Evictions
+	f.mem.FetchedBytes += mem.FetchedBytes
+	f.mem.UsedBytes += mem.UsedBytes
+	s.Flush(f.instr, f.cycle, f.acc, f.miss, &f.mem)
+}
+
+func TestEpochDeltas(t *testing.T) {
+	s := New(Options{WindowInstr: 1000, MaxEpochs: 8})
+	var f feed
+
+	s.Latency(100)
+	s.Latency(100)
+	f.step(s, 1000, 2000, 50, 10, memtypes.MemStats{
+		Requests: 10, ServedNM: 8,
+		NMReadBytes: 640, NMWriteBytes: 64,
+		FMReadBytes: 128, FMWriteBytes: 64,
+		MetaNMBytes: 32, Migrations: 2, Evictions: 1,
+		FetchedBytes: 1024, UsedBytes: 256,
+	})
+	// Second window: different shape; no latencies recorded.
+	f.step(s, 2000, 2000, 20, 4, memtypes.MemStats{
+		Requests: 4, ServedNM: 1,
+		FMReadBytes: 256,
+	})
+
+	ser := s.Series()
+	if ser.EpochsTotal != 2 || len(ser.Epochs) != 2 || ser.EpochsDropped != 0 {
+		t.Fatalf("series shape: total=%d dropped=%d len=%d", ser.EpochsTotal, ser.EpochsDropped, len(ser.Epochs))
+	}
+	e0, e1 := ser.Epochs[0], ser.Epochs[1]
+	if e0.Index != 0 || e0.EndInstr != 1000 || e0.EndCycle != 2000 {
+		t.Fatalf("epoch0 boundary: %+v", e0)
+	}
+	if e0.IPC != 0.5 {
+		t.Fatalf("epoch0 IPC = %v, want 0.5", e0.IPC)
+	}
+	if e0.LLCAccesses != 50 || e0.LLCMisses != 10 || e0.MPKI != 10 {
+		t.Fatalf("epoch0 llc: %+v", e0)
+	}
+	if e0.Requests != 10 || e0.NMHitFrac != 0.8 {
+		t.Fatalf("epoch0 requests/nmhit: %+v", e0)
+	}
+	if e0.NMTrafficBytes != 704 || e0.FMTrafficBytes != 192 || e0.MetaNMBytes != 32 {
+		t.Fatalf("epoch0 traffic: %+v", e0)
+	}
+	if e0.Migrations != 2 || e0.Evictions != 1 {
+		t.Fatalf("epoch0 moves: %+v", e0)
+	}
+	if e0.WastedFrac != 0.75 {
+		t.Fatalf("epoch0 wasted = %v, want 0.75", e0.WastedFrac)
+	}
+	if e0.LatCount != 2 || e0.LatMean != 100 || e0.LatP50 != 64 {
+		t.Fatalf("epoch0 latency: %+v", e0)
+	}
+
+	if e1.Index != 1 || e1.Instr != 2000 || e1.IPC != 1.0 {
+		t.Fatalf("epoch1 window: %+v", e1)
+	}
+	if e1.MPKI != 2 {
+		t.Fatalf("epoch1 MPKI = %v, want 2", e1.MPKI)
+	}
+	if e1.NMHitFrac != 0.25 {
+		t.Fatalf("epoch1 nmhit = %v, want 0.25", e1.NMHitFrac)
+	}
+	// The window histogram must have been reset at the boundary.
+	if e1.LatCount != 0 || e1.LatMean != 0 || e1.LatP50 != 0 {
+		t.Fatalf("epoch1 latency not reset: %+v", e1)
+	}
+}
+
+// TestWastedFracWindowClamp: used-bytes of lines fetched in an earlier
+// window accrue later, so a window's used delta can exceed its fetched
+// delta; the fraction must clamp to 0 instead of wrapping.
+func TestWastedFracWindowClamp(t *testing.T) {
+	s := New(Options{WindowInstr: 100, MaxEpochs: 4})
+	var f feed
+	f.step(s, 100, 100, 0, 0, memtypes.MemStats{FetchedBytes: 1024, UsedBytes: 64})
+	f.step(s, 100, 100, 0, 0, memtypes.MemStats{FetchedBytes: 64, UsedBytes: 512})
+	ser := s.Series()
+	if got := ser.Epochs[1].WastedFrac; got != 0 {
+		t.Fatalf("clamped wasted frac = %v, want 0", got)
+	}
+}
+
+func TestFlushIdempotentAtBoundary(t *testing.T) {
+	s := New(Options{WindowInstr: 100, MaxEpochs: 4})
+	var f feed
+	f.step(s, 100, 100, 1, 1, memtypes.MemStats{Requests: 1})
+	// A second flush with no new instructions (run ended exactly on a
+	// boundary) must not emit an empty epoch.
+	s.Flush(f.instr, f.cycle, f.acc, f.miss, &f.mem)
+	if ser := s.Series(); ser.EpochsTotal != 1 {
+		t.Fatalf("epochs after idempotent flush = %d, want 1", ser.EpochsTotal)
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	s := New(Options{WindowInstr: 10, MaxEpochs: 4})
+	var f feed
+	for i := 0; i < 10; i++ {
+		f.step(s, 10, 10, 1, 0, memtypes.MemStats{Requests: 1})
+	}
+	ser := s.Series()
+	if ser.EpochsTotal != 10 || ser.EpochsDropped != 6 || len(ser.Epochs) != 4 {
+		t.Fatalf("ring bookkeeping: %+v", ser)
+	}
+	for i, e := range ser.Epochs {
+		if e.Index != 6+i {
+			t.Fatalf("retained epoch %d has index %d, want %d (oldest-first order)", i, e.Index, 6+i)
+		}
+	}
+}
+
+func TestOnEpochCallback(t *testing.T) {
+	var got []int
+	s := New(Options{WindowInstr: 10, MaxEpochs: 4, OnEpoch: func(e Epoch) { got = append(got, e.Index) }})
+	var f feed
+	for i := 0; i < 3; i++ {
+		f.step(s, 10, 10, 0, 0, memtypes.MemStats{})
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("OnEpoch indices = %v", got)
+	}
+}
+
+// TestSeriesDeterministic: the same input stream always yields a
+// deeply equal series, and Series() itself is repeatable.
+func TestSeriesDeterministic(t *testing.T) {
+	build := func() *Series {
+		s := New(Options{WindowInstr: 50, MaxEpochs: 16})
+		var f feed
+		for i := 0; i < 12; i++ {
+			s.Latency(uint64(10 + i*7))
+			f.step(s, 50, uint64(40+i%3*20), uint64(i), uint64(i/2), memtypes.MemStats{
+				Requests: 5, ServedNM: uint64(i % 5), FMReadBytes: 64,
+				FetchedBytes: 128, UsedBytes: 64,
+			})
+		}
+		return s.Series()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("series not deterministic:\n%+v\n%+v", a, b)
+	}
+	s := New(Options{WindowInstr: 50, MaxEpochs: 16})
+	var f feed
+	f.step(s, 50, 50, 1, 1, memtypes.MemStats{Requests: 1})
+	if !reflect.DeepEqual(s.Series(), s.Series()) {
+		t.Fatal("repeated Series() calls differ")
+	}
+}
+
+func TestSegmentEmptyAndFlat(t *testing.T) {
+	if got := Segment(nil); len(got) != 0 {
+		t.Fatalf("Segment(nil) = %v", got)
+	}
+	flat := make([]Epoch, 20)
+	for i := range flat {
+		flat[i] = Epoch{Index: i, IPC: 1.5, MPKI: 3}
+	}
+	phases := Segment(flat)
+	if len(phases) != 1 {
+		t.Fatalf("flat series phases = %d, want 1", len(phases))
+	}
+	p := phases[0]
+	if p.StartEpoch != 0 || p.EndEpoch != 19 || p.Epochs != 20 {
+		t.Fatalf("flat phase bounds: %+v", p)
+	}
+	if p.MeanIPC != 1.5 || p.MeanMPKI != 3 {
+		t.Fatalf("flat phase means: %+v", p)
+	}
+}
+
+func TestSegmentFindsChangePoint(t *testing.T) {
+	var epochs []Epoch
+	for i := 0; i < 12; i++ {
+		epochs = append(epochs, Epoch{Index: i, IPC: 2.0, MPKI: 1, NMHitFrac: 0.9})
+	}
+	for i := 12; i < 24; i++ {
+		epochs = append(epochs, Epoch{Index: i, IPC: 0.5, MPKI: 8, NMHitFrac: 0.2})
+	}
+	phases := Segment(epochs)
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d, want 2: %+v", len(phases), phases)
+	}
+	if phases[0].EndEpoch != 11 || phases[1].StartEpoch != 12 {
+		t.Fatalf("split point wrong: %+v", phases)
+	}
+	if phases[0].MeanIPC != 2.0 || phases[1].MeanIPC != 0.5 {
+		t.Fatalf("phase means wrong: %+v", phases)
+	}
+	if d := phases[0].MeanNMHitFrac - 0.9; d > 1e-9 || d < -1e-9 || phases[1].MeanMPKI != 8 {
+		t.Fatalf("phase annotations wrong: %+v", phases)
+	}
+}
+
+// TestSegmentDeterministic pins that segmentation is a pure function.
+func TestSegmentDeterministic(t *testing.T) {
+	var epochs []Epoch
+	for i := 0; i < 40; i++ {
+		ipc := 1.0 + float64(i%7)*0.1
+		if i >= 20 {
+			ipc += 1.0
+		}
+		epochs = append(epochs, Epoch{Index: i, IPC: ipc})
+	}
+	a, b := Segment(epochs), Segment(epochs)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("segmentation not deterministic:\n%v\n%v", a, b)
+	}
+}

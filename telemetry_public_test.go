@@ -1,0 +1,86 @@
+package hybridmem
+
+import "testing"
+
+// RunWithOptions with telemetry must report exactly what Run reports —
+// sampling is passive — and a zero RunOptions must behave like Run with
+// no series attached.
+func TestRunWithOptionsPassivity(t *testing.T) {
+	cfg := quickCfg()
+	plain, err := Run("HYBRID2", "lbm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, ser, err := RunWithOptions("HYBRID2", "lbm", cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser != nil {
+		t.Fatalf("zero RunOptions returned a series: %+v", ser)
+	}
+	if res != plain {
+		t.Fatalf("zero-options result diverged:\n got %+v\nwant %+v", res, plain)
+	}
+
+	res, ser, err = RunWithOptions("HYBRID2", "lbm", cfg, RunOptions{
+		Telemetry: &TelemetryOptions{WindowInstr: 8192},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != plain {
+		t.Fatalf("sampled result diverged:\n got %+v\nwant %+v", res, plain)
+	}
+	if ser == nil {
+		t.Fatal("telemetry enabled but series is nil")
+	}
+	if ser.WindowInstr != 8192 {
+		t.Fatalf("WindowInstr = %d, want 8192", ser.WindowInstr)
+	}
+	if len(ser.Epochs) == 0 || len(ser.Phases) == 0 {
+		t.Fatalf("series empty: %d epochs, %d phases", len(ser.Epochs), len(ser.Phases))
+	}
+	if ser.EpochsTotal < len(ser.Epochs) {
+		t.Fatalf("EpochsTotal %d < retained %d", ser.EpochsTotal, len(ser.Epochs))
+	}
+	for i, e := range ser.Epochs {
+		if e.Index != ser.EpochsDropped+i {
+			t.Fatalf("epoch %d has Index %d, want %d", i, e.Index, ser.EpochsDropped+i)
+		}
+		if e.WastedFrac < 0 || e.WastedFrac > 1 {
+			t.Fatalf("epoch %d WastedFrac %v out of [0,1]", i, e.WastedFrac)
+		}
+	}
+
+	again, ser2, err := RunWithOptions("HYBRID2", "lbm", cfg, RunOptions{
+		Telemetry: &TelemetryOptions{WindowInstr: 8192},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != plain {
+		t.Fatalf("repeat sampled result diverged: %+v", again)
+	}
+	if len(ser2.Epochs) != len(ser.Epochs) || len(ser2.Phases) != len(ser.Phases) {
+		t.Fatalf("series not deterministic: %d/%d epochs, %d/%d phases",
+			len(ser2.Epochs), len(ser.Epochs), len(ser2.Phases), len(ser.Phases))
+	}
+	for i := range ser.Epochs {
+		if ser2.Epochs[i] != ser.Epochs[i] {
+			t.Fatalf("epoch %d differs between identical runs:\n got %+v\nwant %+v",
+				i, ser2.Epochs[i], ser.Epochs[i])
+		}
+	}
+}
+
+func TestRunWithOptionsErrors(t *testing.T) {
+	if _, _, err := RunWithOptions("HYBRID2", "no-such-workload", quickCfg(), RunOptions{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	bad := quickCfg()
+	bad.Scale = 0
+	if _, _, err := RunWithOptions("HYBRID2", "lbm", bad, RunOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
